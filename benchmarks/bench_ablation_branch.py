@@ -1,0 +1,40 @@
+"""Ablation benchmarks: branch depth / grid resolution, threshold, cascade tolerance."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+from repro.experiments import ablation
+
+
+def test_ablation_branch_depth(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        ablation.run_branch_depth, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_rows("Ablation — backbone spatial resolution", "\n".join(map(str, rows)))
+    assert len(rows) == 3
+    finest = min(rows, key=lambda r: r["pool_factor"])
+    coarsest = max(rows, key=lambda r: r["pool_factor"])
+    # Coarser feature grids lose localisation quality (the paper's grid-size
+    # trade-off when branching at deeper layers).
+    assert coarsest["micro_f1"] <= finest["micro_f1"] + 0.05
+
+
+def test_ablation_threshold_sweep(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        ablation.run_threshold_sweep, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_rows("Ablation — grid occupancy threshold", "\n".join(map(str, rows)))
+    assert any(row.get("best") for row in rows)
+
+
+def test_ablation_cascade_tolerance(benchmark, bench_config):
+    rows = benchmark.pedantic(
+        ablation.run_cascade_tolerance, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_rows("Ablation — cascade tolerance vs accuracy/speedup", "\n".join(map(str, rows)))
+    assert len(rows) == 5
+    # Looser tolerances can only admit more frames (weakly lower speedup,
+    # weakly higher accuracy).
+    strict = rows[0]
+    loose = rows[-1]
+    assert loose["accuracy"] >= strict["accuracy"] - 1e-9

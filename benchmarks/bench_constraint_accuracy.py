@@ -1,0 +1,16 @@
+"""Section IV-A benchmark: filter-based spatial-constraint check accuracy."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+from repro.experiments import constraint_check
+
+
+def test_constraint_check_accuracy(benchmark, bench_config):
+    result = benchmark.pedantic(
+        constraint_check.run, args=(bench_config,), rounds=1, iterations=1
+    )
+    print_rows("Constraint check — 'car left of bus' vs exact evaluation", str(result))
+    # The paper reports 99 % agreement; the linear-head reproduction should
+    # stay well above chance and in the same qualitative band.
+    assert result["accuracy"] >= 0.8

@@ -1,0 +1,26 @@
+"""Figure 7 benchmark: accuracy of the object-count filters (OD-COF, IC-CF, OD-CF)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig7
+
+
+def test_fig7_count_filter_accuracy(benchmark, bench_config):
+    rows = benchmark.pedantic(fig7.run, args=(bench_config,), rounds=1, iterations=1)
+    print_rows("Figure 7 — count filter accuracy", fig7.format_rows(rows))
+    assert len(rows) == 9  # 3 datasets x 3 filters
+    by_key = {(r["dataset"], r["filter"]): r for r in rows}
+    for row in rows:
+        # Accuracy must rise (weakly) with the tolerance band, as in the paper.
+        assert row["exact"] <= row["within_1"] + 1e-9
+        assert row["within_1"] <= row["within_2"] + 1e-9
+    # On the easy dataset (Jackson) every filter is accurate within +-1.
+    for filter_name in ("OD-COF", "IC-CF", "OD-CF"):
+        assert by_key[("jackson", filter_name)]["within_1"] >= 0.8
+    # On Detrac (many objects) the count-only OD-COF must not beat OD-CF at +-1,
+    # the paper's headline observation for this figure.
+    assert (
+        by_key[("detrac", "OD-COF")]["within_1"]
+        <= by_key[("detrac", "OD-CF")]["within_1"] + 0.05
+    )

@@ -1,0 +1,24 @@
+"""Figures 12–15 benchmark: per-class localisation (CLF) F1 for IC and OD filters."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+from repro.experiments import fig15
+
+
+def test_fig15_localization_f1(benchmark, bench_config):
+    rows = benchmark.pedantic(fig15.run, args=(bench_config,), rounds=1, iterations=1)
+    print_rows("Figures 12-15 — localisation F1", fig15.format_rows(rows))
+    assert len(rows) == 2 * (1 + 2 + 3)
+    by_key = {(r["dataset"], r["filter"], r["class"]): r for r in rows}
+    for row in rows:
+        # Tolerant matching can only help.
+        assert row["f1"] <= row["f1_manhattan_1"] + 1e-9
+        assert row["f1_manhattan_1"] <= row["f1_manhattan_2"] + 1e-9
+    # The paper's central localisation result: OD filters localise better than
+    # IC filters (checked on the dominant class of each dataset).
+    for dataset, cls in (("coral", "person"), ("jackson", "car"), ("detrac", "car")):
+        assert (
+            by_key[(dataset, "OD-CLF", cls)]["f1"]
+            >= by_key[(dataset, "IC-CLF", cls)]["f1"] - 0.05
+        )

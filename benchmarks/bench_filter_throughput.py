@@ -1,0 +1,42 @@
+"""Filter and detector throughput benchmark (the latency numbers of Section IV).
+
+This is the one benchmark that measures *wall-clock* per-frame cost of this
+reproduction's own components (backbone feature extraction + branch heads),
+alongside the simulated latencies inherited from the paper.  It quantifies
+the frame-processing-rate increase that makes the filter cascade worthwhile.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import get_context
+
+
+def test_od_filter_throughput(benchmark, bench_config):
+    context = get_context("jackson", bench_config)
+    frame = context.dataset.test.frame(5)
+    od = context.od_filter
+    prediction = benchmark(od.predict, frame)
+    assert prediction.total_count >= 0
+
+
+def test_ic_filter_throughput(benchmark, bench_config):
+    context = get_context("jackson", bench_config)
+    frame = context.dataset.test.frame(5)
+    ic = context.ic_filter
+    prediction = benchmark(ic.predict, frame)
+    assert prediction.total_count >= 0
+
+
+def test_reference_detector_throughput(benchmark, bench_config):
+    context = get_context("jackson", bench_config)
+    frame = context.dataset.test.frame(5)
+    detector = context.reference_detector()
+    detections = benchmark(detector.detect, frame)
+    assert detections.count >= 0
+
+
+def test_frame_rendering_throughput(benchmark, bench_config):
+    context = get_context("jackson", bench_config)
+    stream = context.dataset.test
+    frame = benchmark(stream.frame, 10)
+    assert frame.image.shape[2] == 3

@@ -1,0 +1,16 @@
+"""Table II benchmark: dataset materialisation and statistics reproduction."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+from repro.experiments import table2
+
+
+def test_table2_dataset_characteristics(benchmark, bench_config):
+    rows = benchmark.pedantic(table2.run, args=(bench_config,), rounds=1, iterations=1)
+    print_rows("Table II — dataset characteristics", table2.format_rows(rows))
+    assert len(rows) == 3
+    for row in rows:
+        # The synthetic streams must match the paper's per-frame statistics.
+        assert abs(row["obj_per_frame_mean"] - row["paper_obj_per_frame_mean"]) < 1.0
+        assert abs(row["obj_per_frame_std"] - row["paper_obj_per_frame_std"]) < 1.5

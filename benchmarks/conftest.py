@@ -1,0 +1,39 @@
+"""Shared configuration for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper at a reduced
+scale (see ``BENCH_CONFIG``) so the full harness completes in minutes on a
+CPU.  Trained filters and datasets are cached per process by
+``repro.experiments.context.get_context``, so the first benchmark that
+touches a dataset pays the training cost and the rest reuse it.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import ExperimentConfig
+
+# One shared scale for all benchmarks: large enough that every table/figure
+# is qualitatively meaningful, small enough for a laptop CPU run.
+BENCH_CONFIG = ExperimentConfig(
+    train_size=300,
+    val_size=60,
+    test_size=160,
+    max_train_frames=250,
+    test_stride=2,
+)
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    return BENCH_CONFIG
+
+
+def print_rows(title: str, text: str) -> None:
+    """Echo a reproduced table to stdout (shown with ``pytest -s``)."""
+    print(f"\n=== {title} ===")
+    print(text)

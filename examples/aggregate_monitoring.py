@@ -1,0 +1,79 @@
+"""Aggregate monitoring with control variates (Section III of the paper).
+
+Scenario: a traffic-authority dashboard wants, for every hopping window of the
+stream, an estimate of how often a car is present in the lower-right quadrant
+of the intersection (e.g. a loading zone) — without running the expensive
+detector on every frame.
+
+The example estimates the aggregate three ways over each window:
+
+1. plain frame sampling (detector only on the sampled frames);
+2. sampling with a single control variate (the OD filter's answer);
+3. sampling with multiple control variates (one per query predicate);
+
+and reports the variance reduction the control variates achieve.
+
+Run with::
+
+    python examples/aggregate_monitoring.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import FilterTrainer, build_jackson
+from repro.aggregates import (
+    AggregateMonitor,
+    AggregateQuerySpec,
+    HoppingWindow,
+    per_predicate_controls,
+    query_indicator_control,
+)
+from repro.detection import ReferenceDetector
+from repro.query import QueryBuilder
+from repro.spatial.regions import Quadrant, quadrant_region
+
+
+def main() -> None:
+    print("Building the synthetic Jackson dataset ...")
+    dataset = build_jackson(train_size=400, val_size=80, test_size=240)
+    trainer = FilterTrainer(dataset=dataset, max_train_frames=320)
+    od_filter = trainer.train_od_filter()
+    detector = ReferenceDetector(class_names=dataset.class_names, seed=99)
+
+    profile = dataset.profile
+    lower_right = quadrant_region(Quadrant.LOWER_RIGHT, profile.frame_width, profile.frame_height)
+    query = (
+        QueryBuilder("car_in_loading_zone")
+        .in_region("car", lower_right).at_least(1)
+        .window(size=120, advance=120)
+        .build()
+    )
+    print(f"Aggregate query: {query.describe()}")
+
+    single_cv = AggregateQuerySpec.from_query(query, [query_indicator_control(query)])
+    multi_cv = AggregateQuerySpec.from_query(query, per_predicate_controls(query))
+    monitor = AggregateMonitor(detector=detector, frame_filter=od_filter, seed=7)
+
+    window_spec = HoppingWindow(size=query.window.size, advance=query.window.advance)
+    print(f"\n{'window':<14}{'plain mean':>12}{'cv mean':>10}{'var.red (CV)':>14}{'var.red (MCV)':>15}")
+    for bounds in window_spec.windows_over(len(dataset.test)):
+        single = monitor.estimate(single_cv, dataset.test, sample_size=40, window=bounds)
+        multi = monitor.estimate(multi_cv, dataset.test, sample_size=40, window=bounds)
+        print(
+            f"[{bounds.start:>4},{bounds.stop:>4})"
+            f"{single.plain.mean:>12.3f}{single.control_variate.mean:>10.3f}"
+            f"{single.variance_reduction:>14.1f}{multi.variance_reduction:>15.1f}"
+        )
+
+    print(
+        "\nPer-sample cost: "
+        f"{single.per_frame_cost_ms:.1f} ms (detector {single.detector_only_cost_ms:.0f} ms "
+        f"+ filter {single.cost_overhead_ms:.1f} ms) — the control variates cost "
+        "≈1% extra per sampled frame."
+    )
+
+
+if __name__ == "__main__":
+    main()

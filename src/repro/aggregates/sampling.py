@@ -1,0 +1,66 @@
+"""Plain sampling-based estimation (the baseline the control variates improve on)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+
+@dataclass(frozen=True)
+class SampleEstimate:
+    """A sampling estimate of a mean, with its uncertainty."""
+
+    mean: float
+    variance: float
+    std_error: float
+    num_samples: int
+    confidence_interval: tuple[float, float]
+    confidence_level: float = 0.95
+
+    @property
+    def half_width(self) -> float:
+        low, high = self.confidence_interval
+        return (high - low) / 2.0
+
+
+def sample_frame_indices(
+    num_frames: int, sample_size: int, rng: np.random.Generator, replace: bool = False
+) -> np.ndarray:
+    """Uniformly sample frame indices from ``[0, num_frames)``."""
+    if num_frames <= 0:
+        raise ValueError(f"num_frames must be positive: {num_frames}")
+    if sample_size <= 0:
+        raise ValueError(f"sample_size must be positive: {sample_size}")
+    if not replace:
+        sample_size = min(sample_size, num_frames)
+    return np.sort(rng.choice(num_frames, size=sample_size, replace=replace))
+
+
+def sample_mean_estimate(
+    values: np.ndarray | list[float], confidence_level: float = 0.95
+) -> SampleEstimate:
+    """Mean / variance / confidence interval of a sample of per-frame values."""
+    values = np.asarray(values, dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot estimate from an empty sample")
+    if not 0.0 < confidence_level < 1.0:
+        raise ValueError(f"confidence level must be in (0, 1): {confidence_level}")
+    n = values.size
+    mean = float(values.mean())
+    variance = float(values.var(ddof=1)) if n > 1 else 0.0
+    std_error = float(np.sqrt(variance / n)) if n > 1 else 0.0
+    if n > 1 and std_error > 0:
+        critical = float(stats.t.ppf(0.5 + confidence_level / 2.0, df=n - 1))
+        interval = (mean - critical * std_error, mean + critical * std_error)
+    else:
+        interval = (mean, mean)
+    return SampleEstimate(
+        mean=mean,
+        variance=variance,
+        std_error=std_error,
+        num_samples=n,
+        confidence_interval=interval,
+        confidence_level=confidence_level,
+    )

@@ -1,0 +1,68 @@
+"""Window specifications over frame streams (hopping / sliding)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+
+@dataclass(frozen=True)
+class WindowBounds:
+    """A half-open frame range ``[start, stop)`` of one window instance."""
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop <= self.start:
+            raise ValueError(f"invalid window bounds: [{self.start}, {self.stop})")
+
+    @property
+    def size(self) -> int:
+        return self.stop - self.start
+
+    def indices(self) -> range:
+        return range(self.start, self.stop)
+
+    def contains(self, frame_index: int) -> bool:
+        return self.start <= frame_index < self.stop
+
+
+@dataclass(frozen=True)
+class HoppingWindow:
+    """A hopping (tumbling when ``advance == size``) window, as in ``WINDOW HOPPING``."""
+
+    size: int
+    advance: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0 or self.advance <= 0:
+            raise ValueError(f"size and advance must be positive: {self.size}, {self.advance}")
+
+    def windows_over(self, num_frames: int, include_partial: bool = False) -> Iterator[WindowBounds]:
+        """All window instances over a stream of ``num_frames`` frames."""
+        if num_frames <= 0:
+            return
+        start = 0
+        while start < num_frames:
+            stop = min(start + self.size, num_frames)
+            if stop - start == self.size or (include_partial and stop > start):
+                yield WindowBounds(start=start, stop=stop)
+            if stop - start < self.size:
+                break
+            start += self.advance
+
+
+@dataclass(frozen=True)
+class SlidingWindow:
+    """A sliding window that advances one frame at a time."""
+
+    size: int
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError(f"size must be positive: {self.size}")
+
+    def windows_over(self, num_frames: int) -> Iterator[WindowBounds]:
+        for start in range(0, max(num_frames - self.size + 1, 0)):
+            yield WindowBounds(start=start, stop=start + self.size)

@@ -1,0 +1,34 @@
+"""Experiment harness: one runner per table / figure of the paper.
+
+Each module exposes a ``run(...)`` function that returns plain dictionaries /
+rows in the shape the paper reports, so benchmarks and scripts can print them
+directly.  The shared :class:`ExperimentContext` builds datasets and trains
+filters once per (dataset, size) combination and caches them for the process
+lifetime, which keeps the full experiment sweep tractable on a laptop CPU.
+"""
+
+from repro.experiments.context import ExperimentConfig, ExperimentContext, get_context
+from repro.experiments import (
+    ablation,
+    constraint_check,
+    fig7,
+    fig11,
+    fig15,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "ExperimentContext",
+    "get_context",
+    "table2",
+    "fig7",
+    "fig11",
+    "fig15",
+    "table3",
+    "table4",
+    "ablation",
+    "constraint_check",
+]

@@ -1,0 +1,74 @@
+"""Table II — dataset characteristics.
+
+Reproduces the dataset summary table: split sizes, objects per frame (mean
+and standard deviation) and the class mix, side by side with the values the
+paper reports for the real datasets.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import DATASET_NAMES, ExperimentConfig, get_context
+
+# Values reported in the paper's Table II.
+PAPER_TABLE2 = {
+    "coral": {
+        "train_size": 52_000,
+        "test_size": 7_215,
+        "objects_per_frame_mean": 8.7,
+        "objects_per_frame_std": 5.1,
+        "classes": {"person": 1.0},
+    },
+    "jackson": {
+        "train_size": 14_094,
+        "test_size": 3_000,
+        "objects_per_frame_mean": 1.2,
+        "objects_per_frame_std": 0.5,
+        "classes": {"car": 0.8, "person": 0.2},
+    },
+    "detrac": {
+        "train_size": 55_020,
+        "test_size": 9_971,
+        "objects_per_frame_mean": 15.8,
+        "objects_per_frame_std": 9.8,
+        "classes": {"car": 0.92, "bus": 0.06, "truck": 0.02},
+    },
+}
+
+
+def run(config: ExperimentConfig | None = None) -> list[dict[str, object]]:
+    """One row per dataset: measured statistics next to the paper's values."""
+    rows: list[dict[str, object]] = []
+    for name in DATASET_NAMES:
+        context = get_context(name, config)
+        summary = context.dataset.summary()
+        paper = PAPER_TABLE2[name]
+        rows.append(
+            {
+                "dataset": name,
+                "train_size": summary["train_size"],
+                "test_size": summary["test_size"],
+                "obj_per_frame_mean": round(float(summary["objects_per_frame_mean"]), 2),
+                "obj_per_frame_std": round(float(summary["objects_per_frame_std"]), 2),
+                "classes": summary["classes"],
+                "paper_obj_per_frame_mean": paper["objects_per_frame_mean"],
+                "paper_obj_per_frame_std": paper["objects_per_frame_std"],
+                "paper_train_size": paper["train_size"],
+                "paper_test_size": paper["test_size"],
+            }
+        )
+    return rows
+
+
+def format_rows(rows: list[dict[str, object]]) -> str:
+    """Human-readable rendering of the Table II reproduction."""
+    lines = [
+        f"{'dataset':<10}{'train':>8}{'test':>8}{'obj/frame':>12}{'std':>8}"
+        f"{'paper obj/frame':>18}{'paper std':>12}"
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['dataset']:<10}{row['train_size']:>8}{row['test_size']:>8}"
+            f"{row['obj_per_frame_mean']:>12}{row['obj_per_frame_std']:>8}"
+            f"{row['paper_obj_per_frame_mean']:>18}{row['paper_obj_per_frame_std']:>12}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,133 @@
+"""Filter interface and prediction data model."""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.cost import SimulatedClock
+from repro.spatial.grid import Grid, GridMask
+from repro.video.stream import Frame
+
+
+class CountTolerance(enum.IntEnum):
+    """Count tolerance bands: exact, within ±1, within ±2 (the ``-1`` / ``-2`` filter variants)."""
+
+    EXACT = 0
+    WITHIN_1 = 1
+    WITHIN_2 = 2
+
+
+class LocationTolerance(enum.IntEnum):
+    """Grid-localisation tolerance: exact cell, Manhattan distance 1 or 2."""
+
+    EXACT = 0
+    MANHATTAN_1 = 1
+    MANHATTAN_2 = 2
+
+
+@dataclass(frozen=True)
+class FilterPrediction:
+    """Everything a filter estimates about one frame.
+
+    ``class_counts`` holds the (rounded, non-negative) per-class count
+    estimates; ``class_scores`` the raw regression outputs before rounding;
+    ``location_scores`` maps each class to a ``(g, g)`` float array of
+    per-cell occupancy scores which, thresholded, become the class location
+    masks the spatial predicates are evaluated on.
+    """
+
+    frame_index: int
+    filter_name: str
+    grid: Grid
+    class_counts: Mapping[str, int]
+    class_scores: Mapping[str, float]
+    location_scores: Mapping[str, np.ndarray]
+    threshold: float
+    latency_ms: float
+
+    # ------------------------------------------------------------------
+    # Counts
+    # ------------------------------------------------------------------
+    @property
+    def total_count(self) -> int:
+        return int(sum(self.class_counts.values()))
+
+    def count_of(self, class_name: str) -> int:
+        return int(self.class_counts.get(class_name, 0))
+
+    # ------------------------------------------------------------------
+    # Locations
+    # ------------------------------------------------------------------
+    def location_mask(
+        self, class_name: str, threshold: float | None = None, dilation: int = 0
+    ) -> GridMask:
+        """Thresholded (optionally dilated) occupancy mask for ``class_name``."""
+        scores = self.location_scores.get(class_name)
+        if scores is None:
+            return self.grid.empty_mask()
+        cutoff = self.threshold if threshold is None else threshold
+        mask = GridMask(grid=self.grid, values=np.asarray(scores) >= cutoff)
+        if dilation > 0:
+            mask = mask.dilated(dilation)
+        return mask
+
+    def location_masks(
+        self, class_names: Sequence[str], threshold: float | None = None, dilation: int = 0
+    ) -> dict[str, GridMask]:
+        return {
+            name: self.location_mask(name, threshold=threshold, dilation=dilation)
+            for name in class_names
+        }
+
+    # ------------------------------------------------------------------
+    # Predicate helpers used by the query executor
+    # ------------------------------------------------------------------
+    def count_matches(
+        self, class_name: str | None, expected: int, tolerance: CountTolerance
+    ) -> bool:
+        """Whether the predicted count equals ``expected`` within ``tolerance``.
+
+        ``class_name=None`` refers to the total object count.
+        """
+        predicted = self.total_count if class_name is None else self.count_of(class_name)
+        return abs(predicted - expected) <= int(tolerance)
+
+    def count_at_least(self, class_name: str | None, minimum: int, tolerance: CountTolerance) -> bool:
+        """Whether the predicted count is at least ``minimum`` minus the tolerance."""
+        predicted = self.total_count if class_name is None else self.count_of(class_name)
+        return predicted >= minimum - int(tolerance)
+
+
+class FrameFilter(abc.ABC):
+    """A cheap approximate per-frame estimator.
+
+    Filters see only the frame's pixels; the ground truth is reserved for the
+    reference detector.  Each call charges the filter's simulated latency
+    (the paper's measured per-frame branch cost) to the attached clock.
+    """
+
+    #: filter family name, e.g. ``"IC"`` or ``"OD"``
+    family: str = "filter"
+    #: component name for cost accounting
+    name: str = "filter"
+    #: simulated per-frame latency in milliseconds
+    latency_ms: float = 0.0
+
+    def __init__(self, clock: SimulatedClock | None = None) -> None:
+        self.clock = clock
+
+    @abc.abstractmethod
+    def predict(self, frame: Frame) -> FilterPrediction:
+        """Estimate counts and locations for ``frame``."""
+
+    def predict_many(self, frames: Sequence[Frame]) -> list[FilterPrediction]:
+        return [self.predict(frame) for frame in frames]
+
+    def _charge(self) -> None:
+        if self.clock is not None:
+            self.clock.charge(self.name, self.latency_ms)

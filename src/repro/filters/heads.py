@@ -1,0 +1,324 @@
+"""Trained estimation heads over frozen backbone features.
+
+The paper's filters are small trainable heads on top of frozen early
+convolution layers.  Here the heads are linear models fit in closed form
+(ridge regression), which keeps training deterministic and fast on CPU while
+preserving exactly the estimation structure of the paper:
+
+* :class:`GridScoringHead` — the analogue of the class-activation map / grid
+  branch: a per-class linear scorer over per-cell features whose thresholded
+  output is the class location mask;
+* :class:`CountCalibration` — the count head: the per-class count is a
+  calibrated affine function of the summed cell scores (density-style
+  counting), mirroring how the branch's fully connected count output
+  aggregates the activation map;
+* :class:`PooledCountHead` — the ``OD-COF`` head: a count regressor that only
+  sees globally pooled features (no spatial structure), which is why it
+  degrades on frames with many objects exactly as the paper observes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy import ndimage
+
+
+#: names of the per-class aggregate features the count head consumes
+COUNT_FEATURE_NAMES = ("score_sum", "occupied_cells", "components")
+
+
+def thresholded_sum(scores: np.ndarray, threshold: float) -> float:
+    """Sum of the grid-cell scores that clear the occupancy threshold.
+
+    Summing *all* cell scores would let thousands of near-zero background
+    cells dominate the count signal; restricting the sum to confident cells
+    makes the count a density-style aggregate of the occupied area, which the
+    :class:`CountCalibration` then maps to an object count.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    return float(scores[scores >= threshold].sum())
+
+
+def suppress_cross_class(
+    location_scores: dict[str, np.ndarray], threshold: float
+) -> dict[str, np.ndarray]:
+    """Keep, per grid cell, only the highest-scoring class above the threshold.
+
+    The per-class heads are trained independently (as the per-class activation
+    maps in the paper are), so a strongly foreground cell can exceed the
+    threshold for more than one class.  A convolutional branch learns to
+    discriminate these cases; for the linear heads we resolve the competition
+    explicitly: if another class scores strictly higher on a cell (and is
+    above threshold), the losing class's score on that cell is zeroed.
+    """
+    if not location_scores:
+        return {}
+    names = list(location_scores)
+    stacked = np.stack([np.asarray(location_scores[name], dtype=np.float64) for name in names])
+    max_scores = stacked.max(axis=0)
+    suppressed = {}
+    for index, name in enumerate(names):
+        scores = stacked[index].copy()
+        losing = (scores < max_scores) & (max_scores >= threshold)
+        scores[losing] = 0.0
+        suppressed[name] = scores
+    return suppressed
+
+
+def count_features(scores: np.ndarray, threshold: float) -> np.ndarray:
+    """Aggregate features of one class's score map used for count estimation.
+
+    The count head regresses the per-class object count on three aggregates
+    of the thresholded activation map: the summed score mass (density), the
+    number of occupied cells (covered area) and the number of connected
+    components (distinct blobs).  This mirrors how the paper's count output
+    aggregates the regularised activation map through the fully connected
+    layer, and is what lets exact counts stay accurate when object sizes vary.
+    """
+    scores = np.asarray(scores, dtype=np.float64)
+    mask = scores >= threshold
+    if not mask.any():
+        return np.zeros(len(COUNT_FEATURE_NAMES))
+    _, num_components = ndimage.label(mask)
+    return np.array([float(scores[mask].sum()), float(mask.sum()), float(num_components)])
+
+
+@dataclass
+class RidgeAccumulator:
+    """Streaming normal-equation accumulator for ridge regression.
+
+    Solves ``min_w ||X w - y||^2 + alpha ||w||^2`` without materialising
+    ``X``: callers feed ``(features, targets)`` batches and the accumulator
+    keeps only ``X^T X`` and ``X^T y``.  A bias column is appended
+    automatically.
+    """
+
+    num_features: int
+    num_outputs: int = 1
+    alpha: float = 1e-3
+    _xtx: np.ndarray = field(init=False)
+    _xty: np.ndarray = field(init=False)
+    _count: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if self.num_features <= 0 or self.num_outputs <= 0:
+            raise ValueError("num_features and num_outputs must be positive")
+        if self.alpha < 0:
+            raise ValueError(f"alpha must be non-negative: {self.alpha}")
+        size = self.num_features + 1
+        self._xtx = np.zeros((size, size))
+        self._xty = np.zeros((size, self.num_outputs))
+
+    def add_batch(
+        self,
+        features: np.ndarray,
+        targets: np.ndarray,
+        sample_weights: np.ndarray | None = None,
+    ) -> None:
+        """Accumulate a batch: ``features (N, F)``, ``targets (N,)`` or ``(N, outputs)``.
+
+        ``sample_weights`` (shape ``(N,)``) re-weights individual rows; this
+        is how occupied grid cells — which are rare — are balanced against
+        the overwhelming majority of empty cells (the analogue of the
+        ``lambda_obj`` / ``lambda_noobj`` terms in the paper's equation 3).
+        """
+        features = np.asarray(features, dtype=np.float64)
+        targets = np.asarray(targets, dtype=np.float64)
+        if features.ndim != 2 or features.shape[1] != self.num_features:
+            raise ValueError(
+                f"expected features (N, {self.num_features}), got {features.shape}"
+            )
+        if targets.ndim == 1:
+            targets = targets[:, None]
+        if targets.shape != (features.shape[0], self.num_outputs):
+            raise ValueError(
+                f"expected targets ({features.shape[0]}, {self.num_outputs}), got {targets.shape}"
+            )
+        augmented = np.concatenate(
+            [features, np.ones((features.shape[0], 1))], axis=1
+        )
+        if sample_weights is None:
+            self._xtx += augmented.T @ augmented
+            self._xty += augmented.T @ targets
+        else:
+            weights = np.asarray(sample_weights, dtype=np.float64)
+            if weights.shape != (features.shape[0],):
+                raise ValueError(
+                    f"sample_weights must have shape ({features.shape[0]},), got {weights.shape}"
+                )
+            if np.any(weights < 0):
+                raise ValueError("sample_weights must be non-negative")
+            weighted = augmented * weights[:, None]
+            self._xtx += weighted.T @ augmented
+            self._xty += weighted.T @ targets
+        self._count += features.shape[0]
+
+    @property
+    def num_samples(self) -> int:
+        return self._count
+
+    def solve(self) -> tuple[np.ndarray, np.ndarray]:
+        """Return ``(weights, bias)`` with shapes ``(F, outputs)`` and ``(outputs,)``."""
+        if self._count == 0:
+            raise RuntimeError("no samples accumulated")
+        size = self.num_features + 1
+        regulariser = self.alpha * np.eye(size)
+        regulariser[-1, -1] = 0.0  # do not penalise the bias
+        solution = np.linalg.solve(self._xtx + regulariser, self._xty)
+        return solution[:-1, :], solution[-1, :]
+
+
+@dataclass
+class GridScoringHead:
+    """Per-class linear scorer over per-cell features.
+
+    ``weights`` has shape ``(num_classes, F)`` and ``bias`` ``(num_classes,)``;
+    scoring a ``(g, g, F)`` feature tensor yields a ``(num_classes, g, g)``
+    score tensor in (approximately) ``[0, 1]``.
+    """
+
+    class_names: tuple[str, ...]
+    weights: np.ndarray
+    bias: np.ndarray
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        bias = np.asarray(self.bias, dtype=np.float64)
+        if weights.ndim != 2 or weights.shape[0] != len(self.class_names):
+            raise ValueError(
+                f"weights must be (num_classes, F), got {weights.shape} for "
+                f"{len(self.class_names)} classes"
+            )
+        if bias.shape != (len(self.class_names),):
+            raise ValueError(f"bias must be (num_classes,), got {bias.shape}")
+        self.weights = weights
+        self.bias = bias
+
+    @property
+    def num_features(self) -> int:
+        return self.weights.shape[1]
+
+    def score(self, cell_features: np.ndarray) -> dict[str, np.ndarray]:
+        """Per-class cell scores for a ``(g, g, F)`` feature tensor."""
+        features = np.asarray(cell_features, dtype=np.float64)
+        if features.ndim != 3 or features.shape[2] != self.num_features:
+            raise ValueError(
+                f"expected (g, g, {self.num_features}) features, got {features.shape}"
+            )
+        g_rows, g_cols, _ = features.shape
+        flat = features.reshape(-1, self.num_features)
+        scores = flat @ self.weights.T + self.bias
+        scores = np.clip(scores, 0.0, 1.0)
+        scores = scores.reshape(g_rows, g_cols, len(self.class_names))
+        return {
+            name: scores[:, :, index] for index, name in enumerate(self.class_names)
+        }
+
+
+@dataclass
+class CountCalibration:
+    """Linear calibration from activation-map aggregates to per-class counts.
+
+    For each class ``c`` the count estimate is
+    ``max(0, weights_c . count_features(scores_c) + offset_c)`` where
+    :func:`count_features` provides (score sum, occupied cells, blob count).
+    """
+
+    class_names: tuple[str, ...]
+    weights: np.ndarray  # (num_classes, num_count_features)
+    offset: np.ndarray  # (num_classes,)
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        offset = np.asarray(self.offset, dtype=np.float64)
+        num_classes = len(self.class_names)
+        if weights.shape != (num_classes, len(COUNT_FEATURE_NAMES)):
+            raise ValueError(
+                f"weights must be ({num_classes}, {len(COUNT_FEATURE_NAMES)}), got {weights.shape}"
+            )
+        if offset.shape != (num_classes,):
+            raise ValueError(f"offset must be ({num_classes},), got {offset.shape}")
+        self.weights = weights
+        self.offset = offset
+
+    def estimate(
+        self, per_class_features: dict[str, np.ndarray]
+    ) -> tuple[dict[str, float], dict[str, int]]:
+        """Return raw (float) and rounded per-class count estimates."""
+        raw: dict[str, float] = {}
+        rounded: dict[str, int] = {}
+        for index, name in enumerate(self.class_names):
+            features = np.asarray(
+                per_class_features.get(name, np.zeros(len(COUNT_FEATURE_NAMES))),
+                dtype=np.float64,
+            )
+            value = float(self.weights[index] @ features + self.offset[index])
+            value = max(value, 0.0)
+            raw[name] = value
+            rounded[name] = int(round(value))
+        return raw, rounded
+
+    @classmethod
+    def fit(
+        cls,
+        class_names: tuple[str, ...],
+        feature_tensor: np.ndarray,
+        true_counts: np.ndarray,
+    ) -> "CountCalibration":
+        """Least-squares fit of the per-class count calibration.
+
+        ``feature_tensor`` has shape ``(num_frames, num_classes,
+        num_count_features)`` and ``true_counts`` ``(num_frames, num_classes)``.
+        """
+        feature_tensor = np.asarray(feature_tensor, dtype=np.float64)
+        true_counts = np.asarray(true_counts, dtype=np.float64)
+        num_classes = len(class_names)
+        if feature_tensor.ndim != 3 or feature_tensor.shape[1] != num_classes:
+            raise ValueError(
+                "feature_tensor must be (num_frames, num_classes, num_count_features), "
+                f"got {feature_tensor.shape}"
+            )
+        if true_counts.shape != feature_tensor.shape[:2]:
+            raise ValueError(
+                f"true_counts shape {true_counts.shape} does not match features"
+            )
+        num_features = feature_tensor.shape[2]
+        weights = np.zeros((num_classes, num_features))
+        offset = np.zeros(num_classes)
+        for index in range(num_classes):
+            x = feature_tensor[:, index, :]
+            y = true_counts[:, index]
+            # Guard against a degenerate class that never appears.
+            if np.allclose(x, 0.0) or np.allclose(y, 0.0):
+                offset[index] = float(np.mean(y))
+                continue
+            design = np.concatenate([x, np.ones((x.shape[0], 1))], axis=1)
+            coeffs, *_ = np.linalg.lstsq(design, y, rcond=None)
+            weights[index] = coeffs[:-1]
+            offset[index] = float(coeffs[-1])
+        return cls(class_names=class_names, weights=weights, offset=offset)
+
+
+@dataclass
+class PooledCountHead:
+    """Total-count regressor over globally pooled features (the OD-COF head)."""
+
+    weights: np.ndarray
+    bias: float
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights, dtype=np.float64)
+        if weights.ndim != 1:
+            raise ValueError(f"weights must be a vector, got shape {weights.shape}")
+        self.weights = weights
+        self.bias = float(self.bias)
+
+    def estimate(self, pooled_features: np.ndarray) -> float:
+        pooled = np.asarray(pooled_features, dtype=np.float64)
+        if pooled.shape != self.weights.shape:
+            raise ValueError(
+                f"expected pooled features of shape {self.weights.shape}, got {pooled.shape}"
+            )
+        return float(max(pooled @ self.weights + self.bias, 0.0))

@@ -1,0 +1,266 @@
+"""Filter accuracy metrics — exactly the quantities plotted in the paper's Figures 7–15.
+
+* **Count accuracy** (Figure 7, Figures 8–11): the fraction of frames whose
+  predicted count equals the true count exactly, within ±1, or within ±2.
+* **Localisation F1** (Figures 12–15): per-class precision / recall / F1 of
+  the thresholded grid prediction against the ground-truth occupancy grid,
+  where a predicted cell counts as correct when a ground-truth cell of the
+  same class lies within Manhattan distance 0, 1 or 2.
+
+Ground truth is, as in the paper, the output of the reference detector
+(Mask R-CNN), provided as an :class:`~repro.detection.annotation.AnnotationSet`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from repro.detection.annotation import AnnotationSet
+from repro.filters.base import FilterPrediction, FrameFilter
+from repro.spatial.grid import GridMask
+from repro.video.stream import VideoStream
+
+
+# ----------------------------------------------------------------------
+# Count metrics
+# ----------------------------------------------------------------------
+def count_accuracy(
+    predicted: Sequence[int] | np.ndarray,
+    actual: Sequence[int] | np.ndarray,
+    tolerance: int = 0,
+) -> float:
+    """Fraction of frames where ``|predicted - actual| <= tolerance``."""
+    predicted = np.asarray(predicted)
+    actual = np.asarray(actual)
+    if predicted.shape != actual.shape:
+        raise ValueError(f"shape mismatch: {predicted.shape} vs {actual.shape}")
+    if predicted.size == 0:
+        return 0.0
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative: {tolerance}")
+    return float(np.mean(np.abs(predicted - actual) <= tolerance))
+
+
+@dataclass(frozen=True)
+class CountAccuracyReport:
+    """Count accuracy of one filter on one dataset, at all three tolerances."""
+
+    filter_name: str
+    dataset_name: str
+    num_frames: int
+    exact: float
+    within_1: float
+    within_2: float
+    per_class_exact: Mapping[str, float] = field(default_factory=dict)
+    per_class_within_1: Mapping[str, float] = field(default_factory=dict)
+    per_class_within_2: Mapping[str, float] = field(default_factory=dict)
+    mean_absolute_error: float = 0.0
+
+    def as_row(self) -> dict[str, object]:
+        """Flat dict representation for tabular output."""
+        return {
+            "filter": self.filter_name,
+            "dataset": self.dataset_name,
+            "frames": self.num_frames,
+            "exact": round(self.exact, 4),
+            "within_1": round(self.within_1, 4),
+            "within_2": round(self.within_2, 4),
+            "mae": round(self.mean_absolute_error, 4),
+        }
+
+
+# ----------------------------------------------------------------------
+# Localisation metrics
+# ----------------------------------------------------------------------
+def localization_counts(
+    predicted: GridMask, actual: GridMask, tolerance: int = 0
+) -> tuple[int, int, int]:
+    """``(true_positives, false_positives, false_negatives)`` at a Manhattan tolerance."""
+    if tolerance < 0:
+        raise ValueError(f"tolerance must be non-negative: {tolerance}")
+    actual_dilated = actual.dilated(tolerance) if tolerance else actual
+    predicted_dilated = predicted.dilated(tolerance) if tolerance else predicted
+    true_positives = int(predicted.intersection(actual_dilated).count)
+    false_positives = int(predicted.count - true_positives)
+    matched_actual = int(actual.intersection(predicted_dilated).count)
+    false_negatives = int(actual.count - matched_actual)
+    return true_positives, false_positives, false_negatives
+
+
+def localization_f1(predicted: GridMask, actual: GridMask, tolerance: int = 0) -> float:
+    """F1 of a single frame/class grid prediction (1.0 when both masks are empty)."""
+    tp, fp, fn = localization_counts(predicted, actual, tolerance)
+    if tp == 0 and fp == 0 and fn == 0:
+        return 1.0
+    precision = tp / (tp + fp) if (tp + fp) else 0.0
+    recall = tp / (tp + fn) if (tp + fn) else 0.0
+    if precision + recall == 0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class LocalizationReport:
+    """Per-class localisation F1 of one filter on one dataset."""
+
+    filter_name: str
+    dataset_name: str
+    num_frames: int
+    per_class_f1: Mapping[str, float]
+    per_class_f1_manhattan_1: Mapping[str, float]
+    per_class_f1_manhattan_2: Mapping[str, float]
+    micro_f1: float
+    micro_f1_manhattan_1: float
+    micro_f1_manhattan_2: float
+
+    def as_rows(self) -> list[dict[str, object]]:
+        rows = []
+        for class_name in self.per_class_f1:
+            rows.append(
+                {
+                    "filter": self.filter_name,
+                    "dataset": self.dataset_name,
+                    "class": class_name,
+                    "f1": round(self.per_class_f1[class_name], 4),
+                    "f1_m1": round(self.per_class_f1_manhattan_1[class_name], 4),
+                    "f1_m2": round(self.per_class_f1_manhattan_2[class_name], 4),
+                }
+            )
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Evaluation drivers
+# ----------------------------------------------------------------------
+def _aligned_predictions(
+    frame_filter: FrameFilter,
+    stream: VideoStream,
+    annotations: AnnotationSet,
+) -> list[tuple[FilterPrediction, "object"]]:
+    pairs = []
+    for annotated in annotations:
+        frame = stream.frame(annotated.frame_index)
+        pairs.append((frame_filter.predict(frame), annotated))
+    return pairs
+
+
+def evaluate_count_filter(
+    frame_filter: FrameFilter,
+    stream: VideoStream,
+    annotations: AnnotationSet,
+    dataset_name: str | None = None,
+    total_only: bool = False,
+) -> CountAccuracyReport:
+    """Evaluate a filter's count estimates against detector annotations.
+
+    ``total_only=True`` evaluates only the total count (appropriate for the
+    OD-COF filter which has no per-class output).
+    """
+    class_names = annotations.class_names
+    predicted_totals: list[int] = []
+    actual_totals: list[int] = []
+    predicted_per_class: dict[str, list[int]] = {name: [] for name in class_names}
+    actual_per_class: dict[str, list[int]] = {name: [] for name in class_names}
+
+    for prediction, annotated in _aligned_predictions(frame_filter, stream, annotations):
+        predicted_totals.append(prediction.total_count)
+        actual_totals.append(annotated.total_count)
+        if total_only:
+            continue
+        for name in class_names:
+            predicted_per_class[name].append(prediction.count_of(name))
+            actual_per_class[name].append(annotated.count_of(name))
+
+    predicted_array = np.array(predicted_totals)
+    actual_array = np.array(actual_totals)
+    per_class_exact = {}
+    per_class_1 = {}
+    per_class_2 = {}
+    if not total_only:
+        for name in class_names:
+            per_class_exact[name] = count_accuracy(
+                predicted_per_class[name], actual_per_class[name], 0
+            )
+            per_class_1[name] = count_accuracy(
+                predicted_per_class[name], actual_per_class[name], 1
+            )
+            per_class_2[name] = count_accuracy(
+                predicted_per_class[name], actual_per_class[name], 2
+            )
+    mae = float(np.mean(np.abs(predicted_array - actual_array))) if predicted_array.size else 0.0
+    return CountAccuracyReport(
+        filter_name=frame_filter.name,
+        dataset_name=dataset_name or annotations.stream_name,
+        num_frames=len(annotations),
+        exact=count_accuracy(predicted_array, actual_array, 0),
+        within_1=count_accuracy(predicted_array, actual_array, 1),
+        within_2=count_accuracy(predicted_array, actual_array, 2),
+        per_class_exact=per_class_exact,
+        per_class_within_1=per_class_1,
+        per_class_within_2=per_class_2,
+        mean_absolute_error=mae,
+    )
+
+
+def evaluate_localization(
+    frame_filter: FrameFilter,
+    stream: VideoStream,
+    annotations: AnnotationSet,
+    dataset_name: str | None = None,
+    threshold: float | None = None,
+) -> LocalizationReport:
+    """Evaluate a filter's grid localisation against detector annotations.
+
+    F1 is computed micro-averaged over frames (total TP / FP / FN per class
+    across the whole test set), matching the paper's definition of counting
+    true / false positives over all frames.
+    """
+    class_names = annotations.class_names
+    grid = annotations.grid
+    totals = {
+        name: {tol: [0, 0, 0] for tol in (0, 1, 2)} for name in class_names
+    }
+
+    for prediction, annotated in _aligned_predictions(frame_filter, stream, annotations):
+        for name in class_names:
+            predicted_mask = prediction.location_mask(name, threshold=threshold)
+            actual_mask = GridMask(grid=grid, values=annotated.grid_of(name))
+            for tolerance in (0, 1, 2):
+                tp, fp, fn = localization_counts(predicted_mask, actual_mask, tolerance)
+                totals[name][tolerance][0] += tp
+                totals[name][tolerance][1] += fp
+                totals[name][tolerance][2] += fn
+
+    def f1_from(tp: int, fp: int, fn: int) -> float:
+        if tp == 0 and fp == 0 and fn == 0:
+            return 1.0
+        precision = tp / (tp + fp) if (tp + fp) else 0.0
+        recall = tp / (tp + fn) if (tp + fn) else 0.0
+        if precision + recall == 0:
+            return 0.0
+        return 2 * precision * recall / (precision + recall)
+
+    per_class = {name: f1_from(*totals[name][0]) for name in class_names}
+    per_class_1 = {name: f1_from(*totals[name][1]) for name in class_names}
+    per_class_2 = {name: f1_from(*totals[name][2]) for name in class_names}
+
+    def micro(tolerance: int) -> float:
+        tp = sum(totals[name][tolerance][0] for name in class_names)
+        fp = sum(totals[name][tolerance][1] for name in class_names)
+        fn = sum(totals[name][tolerance][2] for name in class_names)
+        return f1_from(tp, fp, fn)
+
+    return LocalizationReport(
+        filter_name=frame_filter.name,
+        dataset_name=dataset_name or annotations.stream_name,
+        num_frames=len(annotations),
+        per_class_f1=per_class,
+        per_class_f1_manhattan_1=per_class_1,
+        per_class_f1_manhattan_2=per_class_2,
+        micro_f1=micro(0),
+        micro_f1_manhattan_1=micro(1),
+        micro_f1_manhattan_2=micro(2),
+    )

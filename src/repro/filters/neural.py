@@ -1,0 +1,195 @@
+"""CNN branch-network filters on the from-scratch :mod:`repro.nn` framework.
+
+This is the faithful re-implementation of the paper's branch architecture
+(Figures 2 and 4): a small convolutional trunk standing in for the frozen
+early backbone layers, a global-average-pooling + dense head producing the
+per-class count vector, and a 1x1-convolution + sigmoid head producing the
+per-class occupancy grid (the analogue of the class-activation map).  It is
+trained end to end with the multi-task loss in
+:func:`repro.filters.training.train_neural_filter`.
+
+Numpy convolutions are orders of magnitude slower than the closed-form
+linear-branch filters, so the neural filters are exercised by the test suite
+and the ``train_branch_network`` example on small frame budgets, while the
+large experiment sweeps use the linear branches (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.cost import OD_BRANCH_MS, SimulatedClock
+from repro.filters.base import FilterPrediction, FrameFilter
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    GlobalAveragePooling2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+)
+from repro.nn.network import MultiHeadNetwork, Sequential
+from repro.spatial.grid import Grid
+from repro.video.stream import Frame
+
+
+class _GridReshape:
+    """Adapter layer: ``(N, C*g*g)`` dense output -> ``(N, C, g, g)`` grid."""
+
+    training = True
+
+    def __init__(self, num_classes: int, grid_size: int) -> None:
+        self.num_classes = num_classes
+        self.grid_size = grid_size
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        n = inputs.shape[0]
+        return inputs.reshape(n, self.num_classes, self.grid_size, self.grid_size)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        n = grad_output.shape[0]
+        return grad_output.reshape(n, -1)
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {}
+
+    def zero_grad(self) -> None:
+        return None
+
+
+def build_branch_network(
+    num_classes: int,
+    image_size: int = 56,
+    grid_size: int = 14,
+    base_channels: int = 8,
+    seed: int = 0,
+) -> MultiHeadNetwork:
+    """Build the branch network: shared conv trunk + count head + grid head.
+
+    The trunk downsamples the ``image_size`` input to ``grid_size`` with
+    stride-2 pooling; the count head is GAP + dense (Figure 2 / Figure 5);
+    the grid head is a 1x1 convolution producing one occupancy channel per
+    class followed by a sigmoid (the regularised activation map of Figure 4).
+    """
+    if image_size % grid_size != 0:
+        raise ValueError(
+            f"image_size {image_size} must be divisible by grid_size {grid_size}"
+        )
+    downsample_factor = image_size // grid_size
+    num_pools = int(np.log2(downsample_factor))
+    if 2**num_pools != downsample_factor:
+        raise ValueError(
+            f"image_size / grid_size must be a power of two, got {downsample_factor}"
+        )
+    layers: list = []
+    in_channels = 3
+    out_channels = base_channels
+    for index in range(max(num_pools, 1)):
+        layers.append(
+            Conv2D(in_channels, out_channels, kernel_size=3, padding=1, seed=seed + index)
+        )
+        layers.append(LeakyReLU(0.1))
+        if index < num_pools:
+            layers.append(MaxPool2D(2))
+        in_channels = out_channels
+        out_channels = min(out_channels * 2, 32)
+    trunk = Sequential(layers)
+
+    count_head = Sequential(
+        [
+            GlobalAveragePooling2D(),
+            Dense(in_channels, num_classes, seed=seed + 100),
+            ReLU(),
+        ]
+    )
+    grid_head = Sequential(
+        [
+            Conv2D(in_channels, num_classes, kernel_size=1, seed=seed + 200),
+            Sigmoid(),
+        ]
+    )
+    return MultiHeadNetwork(trunk=trunk, heads={"counts": count_head, "grid": grid_head})
+
+
+class NeuralBranchFilter(FrameFilter):
+    """A trained branch network exposed through the standard filter interface."""
+
+    def __init__(
+        self,
+        network: MultiHeadNetwork,
+        class_names: Sequence[str],
+        image_size: int,
+        grid_size: int,
+        frame_width: int,
+        frame_height: int,
+        family: str = "OD",
+        latency_ms: float = OD_BRANCH_MS,
+        threshold: float = 0.5,
+        clock: SimulatedClock | None = None,
+    ) -> None:
+        super().__init__(clock=clock)
+        self.network = network
+        self.class_names = tuple(class_names)
+        self.image_size = image_size
+        self.grid = Grid(
+            rows=grid_size,
+            cols=grid_size,
+            frame_width=frame_width,
+            frame_height=frame_height,
+        )
+        self.family = family
+        self.name = f"{family.lower()}_neural_branch"
+        self.latency_ms = latency_ms
+        self.threshold = threshold
+
+    def _prepare_input(self, image: np.ndarray) -> np.ndarray:
+        height = image.shape[0]
+        pixels = image.astype(np.float64) / 255.0
+        if height != self.image_size:
+            if height % self.image_size == 0:
+                block = height // self.image_size
+                pixels = pixels.reshape(
+                    self.image_size, block, self.image_size, block, 3
+                ).mean(axis=(1, 3))
+            else:
+                indices = np.clip(
+                    (np.arange(self.image_size) * height / self.image_size).astype(int),
+                    0,
+                    height - 1,
+                )
+                pixels = pixels[indices][:, indices]
+        return pixels.transpose(2, 0, 1)[None, ...]
+
+    def predict(self, frame: Frame) -> FilterPrediction:
+        self._charge()
+        inputs = self._prepare_input(frame.image)
+        outputs = self.network.forward(inputs)
+        counts = outputs["counts"][0]
+        grid_scores = outputs["grid"][0]
+        class_counts = {
+            name: int(round(max(float(counts[index]), 0.0)))
+            for index, name in enumerate(self.class_names)
+        }
+        class_scores = {
+            name: float(max(counts[index], 0.0))
+            for index, name in enumerate(self.class_names)
+        }
+        location_scores = {
+            name: grid_scores[index] for index, name in enumerate(self.class_names)
+        }
+        return FilterPrediction(
+            frame_index=frame.index,
+            filter_name=self.name,
+            grid=self.grid,
+            class_counts=class_counts,
+            class_scores=class_scores,
+            location_scores=location_scores,
+            threshold=self.threshold,
+            latency_ms=self.latency_ms,
+        )

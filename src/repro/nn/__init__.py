@@ -1,0 +1,65 @@
+"""A small, from-scratch neural-network framework on numpy.
+
+The paper implements its filters as branch networks grafted onto the early
+convolution layers of VGG19 / YOLOv2 in PyTorch.  Neither PyTorch nor
+pretrained weights are available in this environment, so this package
+provides the minimum deep-learning substrate the filters need:
+
+* layers: ``Conv2D`` (im2col), ``MaxPool2D``, ``GlobalAveragePooling2D``,
+  ``Dense``, ``ReLU``, ``LeakyReLU``, ``Flatten``;
+* losses: ``MSELoss``, ``SmoothL1Loss`` (the paper's count loss),
+  ``SoftmaxCrossEntropy``, and the multi-task count+location losses used by
+  the IC and OD branches;
+* optimisers: ``SGD`` (momentum + weight decay) and ``Adam`` (the paper's
+  optimiser for IC filters), both with exponential learning-rate decay;
+* ``Sequential`` / ``MultiHeadNetwork`` containers with weight save / load
+  and a finite-difference gradient checker used by the test suite.
+
+Data layout is NCHW throughout (batch, channels, height, width).
+"""
+
+from repro.nn.initializers import he_normal, xavier_uniform, zeros_init
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAveragePooling2D,
+    Layer,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+)
+from repro.nn.losses import (
+    Loss,
+    MSELoss,
+    SmoothL1Loss,
+    SoftmaxCrossEntropy,
+)
+from repro.nn.optim import SGD, Adam, Optimizer
+from repro.nn.network import MultiHeadNetwork, Sequential, gradient_check
+
+__all__ = [
+    "he_normal",
+    "xavier_uniform",
+    "zeros_init",
+    "Layer",
+    "Conv2D",
+    "MaxPool2D",
+    "GlobalAveragePooling2D",
+    "Dense",
+    "ReLU",
+    "LeakyReLU",
+    "Sigmoid",
+    "Flatten",
+    "Loss",
+    "MSELoss",
+    "SmoothL1Loss",
+    "SoftmaxCrossEntropy",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Sequential",
+    "MultiHeadNetwork",
+    "gradient_check",
+]

@@ -1,0 +1,353 @@
+"""Neural-network layers with explicit forward / backward passes.
+
+All layers operate on NCHW float64 arrays (or ``(N, features)`` for dense
+layers).  Each layer stores whatever it needs from the forward pass to
+compute gradients in the backward pass; parameters and their gradients are
+exposed through ``params()`` / ``grads()`` so optimisers can update them in
+place.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Mapping
+
+import numpy as np
+
+from repro.nn.initializers import he_normal, xavier_uniform, zeros_init
+
+
+class Layer(abc.ABC):
+    """Base class for all layers."""
+
+    #: whether the layer is in training mode (affects e.g. dropout)
+    training: bool = True
+
+    @abc.abstractmethod
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        """Compute the layer output and cache what backward needs."""
+
+    @abc.abstractmethod
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        """Propagate ``dL/d(output)`` to ``dL/d(input)``, accumulating parameter grads."""
+
+    def params(self) -> dict[str, np.ndarray]:
+        """Trainable parameters keyed by name (empty for stateless layers)."""
+        return {}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        """Gradients matching :meth:`params` keys."""
+        return {}
+
+    def zero_grad(self) -> None:
+        for grad in self.grads().values():
+            grad.fill(0.0)
+
+    def __call__(self, inputs: np.ndarray) -> np.ndarray:
+        return self.forward(inputs)
+
+
+# ----------------------------------------------------------------------
+# Activations
+# ----------------------------------------------------------------------
+class ReLU(Layer):
+    """Rectified linear unit."""
+
+    def __init__(self) -> None:
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._mask = inputs > 0
+        return inputs * self._mask
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._mask
+
+
+class LeakyReLU(Layer):
+    """Leaky ReLU (the activation used by the OD branch network, Table I)."""
+
+    def __init__(self, negative_slope: float = 0.1) -> None:
+        if negative_slope < 0:
+            raise ValueError(f"negative_slope must be non-negative: {negative_slope}")
+        self.negative_slope = negative_slope
+        self._mask: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._mask = inputs > 0
+        return np.where(self._mask, inputs, self.negative_slope * inputs)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        return np.where(self._mask, grad_output, self.negative_slope * grad_output)
+
+
+class Sigmoid(Layer):
+    """Logistic sigmoid (used for grid-occupancy outputs)."""
+
+    def __init__(self) -> None:
+        self._output: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        # Numerically stable sigmoid.
+        out = np.empty_like(inputs, dtype=np.float64)
+        positive = inputs >= 0
+        out[positive] = 1.0 / (1.0 + np.exp(-inputs[positive]))
+        exp_x = np.exp(inputs[~positive])
+        out[~positive] = exp_x / (1.0 + exp_x)
+        self._output = out
+        return out
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._output is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output * self._output * (1.0 - self._output)
+
+
+class Flatten(Layer):
+    """Flatten all non-batch dimensions."""
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        self._input_shape = inputs.shape
+        return inputs.reshape(inputs.shape[0], -1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        return grad_output.reshape(self._input_shape)
+
+
+# ----------------------------------------------------------------------
+# Dense
+# ----------------------------------------------------------------------
+class Dense(Layer):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(self, in_features: int, out_features: int, seed: int = 0) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ValueError(
+                f"feature dimensions must be positive: {in_features}, {out_features}"
+            )
+        rng = np.random.default_rng(seed)
+        self.weight = xavier_uniform((in_features, out_features), in_features, out_features, rng)
+        self.bias = zeros_init((out_features,))
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._inputs: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 2:
+            raise ValueError(f"Dense expects (N, features), got shape {inputs.shape}")
+        self._inputs = inputs
+        return inputs @ self.weight + self.bias
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._inputs is None:
+            raise RuntimeError("backward called before forward")
+        self.grad_weight += self._inputs.T @ grad_output
+        self.grad_bias += grad_output.sum(axis=0)
+        return grad_output @ self.weight.T
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.grad_weight, "bias": self.grad_bias}
+
+
+# ----------------------------------------------------------------------
+# Convolution via im2col
+# ----------------------------------------------------------------------
+def _im2col(
+    inputs: np.ndarray, kernel: int, stride: int, padding: int
+) -> tuple[np.ndarray, int, int]:
+    """Unfold ``(N, C, H, W)`` into ``(N * out_h * out_w, C * kernel * kernel)``."""
+    n, channels, height, width = inputs.shape
+    out_h = (height + 2 * padding - kernel) // stride + 1
+    out_w = (width + 2 * padding - kernel) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ValueError(
+            f"convolution output would be empty for input {inputs.shape}, "
+            f"kernel={kernel}, stride={stride}, padding={padding}"
+        )
+    padded = np.pad(
+        inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
+    )
+    cols = np.empty((n, channels, kernel, kernel, out_h, out_w), dtype=inputs.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            cols[:, :, ky, kx, :, :] = padded[:, :, ky:y_max:stride, kx:x_max:stride]
+    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
+    return cols, out_h, out_w
+
+
+def _col2im(
+    cols: np.ndarray,
+    input_shape: tuple[int, int, int, int],
+    kernel: int,
+    stride: int,
+    padding: int,
+    out_h: int,
+    out_w: int,
+) -> np.ndarray:
+    """Inverse of :func:`_im2col` (accumulating overlapping regions)."""
+    n, channels, height, width = input_shape
+    cols = cols.reshape(n, out_h, out_w, channels, kernel, kernel).transpose(0, 3, 4, 5, 1, 2)
+    padded = np.zeros((n, channels, height + 2 * padding, width + 2 * padding), dtype=cols.dtype)
+    for ky in range(kernel):
+        y_max = ky + stride * out_h
+        for kx in range(kernel):
+            x_max = kx + stride * out_w
+            padded[:, :, ky:y_max:stride, kx:x_max:stride] += cols[:, :, ky, kx, :, :]
+    if padding == 0:
+        return padded
+    return padded[:, :, padding:-padding, padding:-padding]
+
+
+class Conv2D(Layer):
+    """2-D convolution with square kernels, implemented with im2col."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        seed: int = 0,
+    ) -> None:
+        if min(in_channels, out_channels, kernel_size, stride) <= 0:
+            raise ValueError("conv parameters must be positive")
+        if padding < 0:
+            raise ValueError(f"padding must be non-negative: {padding}")
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        rng = np.random.default_rng(seed)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weight = he_normal((out_channels, in_channels, kernel_size, kernel_size), fan_in, rng)
+        self.bias = zeros_init((out_channels,))
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cols: np.ndarray | None = None
+        self._input_shape: tuple[int, int, int, int] | None = None
+        self._out_hw: tuple[int, int] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
+            raise ValueError(
+                f"Conv2D expects (N, {self.in_channels}, H, W), got {inputs.shape}"
+            )
+        cols, out_h, out_w = _im2col(inputs, self.kernel_size, self.stride, self.padding)
+        weight_matrix = self.weight.reshape(self.out_channels, -1)
+        output = cols @ weight_matrix.T + self.bias
+        n = inputs.shape[0]
+        output = output.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
+        self._cols = cols
+        self._input_shape = inputs.shape  # type: ignore[assignment]
+        self._out_hw = (out_h, out_w)
+        return output
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._cols is None or self._input_shape is None or self._out_hw is None:
+            raise RuntimeError("backward called before forward")
+        out_h, out_w = self._out_hw
+        n = grad_output.shape[0]
+        grad_flat = grad_output.transpose(0, 2, 3, 1).reshape(-1, self.out_channels)
+        weight_matrix = self.weight.reshape(self.out_channels, -1)
+        self.grad_weight += (grad_flat.T @ self._cols).reshape(self.weight.shape)
+        self.grad_bias += grad_flat.sum(axis=0)
+        grad_cols = grad_flat @ weight_matrix
+        return _col2im(
+            grad_cols,
+            self._input_shape,
+            self.kernel_size,
+            self.stride,
+            self.padding,
+            out_h,
+            out_w,
+        )
+
+    def params(self) -> dict[str, np.ndarray]:
+        return {"weight": self.weight, "bias": self.bias}
+
+    def grads(self) -> dict[str, np.ndarray]:
+        return {"weight": self.grad_weight, "bias": self.grad_bias}
+
+
+# ----------------------------------------------------------------------
+# Pooling
+# ----------------------------------------------------------------------
+class MaxPool2D(Layer):
+    """Max pooling with square windows (window == stride)."""
+
+    def __init__(self, pool_size: int = 2) -> None:
+        if pool_size <= 0:
+            raise ValueError(f"pool_size must be positive: {pool_size}")
+        self.pool_size = pool_size
+        self._inputs_shape: tuple[int, ...] | None = None
+        self._argmax: np.ndarray | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ValueError(f"MaxPool2D expects NCHW input, got {inputs.shape}")
+        n, channels, height, width = inputs.shape
+        p = self.pool_size
+        if height % p != 0 or width % p != 0:
+            raise ValueError(
+                f"input spatial dims {height}x{width} not divisible by pool size {p}"
+            )
+        out_h, out_w = height // p, width // p
+        reshaped = inputs.reshape(n, channels, out_h, p, out_w, p)
+        windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(n, channels, out_h, out_w, p * p)
+        self._argmax = windows.argmax(axis=-1)
+        self._inputs_shape = inputs.shape
+        return windows.max(axis=-1)
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._argmax is None or self._inputs_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, channels, height, width = self._inputs_shape
+        p = self.pool_size
+        out_h, out_w = height // p, width // p
+        grad_windows = np.zeros((n, channels, out_h, out_w, p * p), dtype=grad_output.dtype)
+        flat_index = self._argmax.reshape(-1)
+        grad_windows.reshape(-1, p * p)[np.arange(flat_index.size), flat_index] = grad_output.reshape(-1)
+        grad_input = (
+            grad_windows.reshape(n, channels, out_h, out_w, p, p)
+            .transpose(0, 1, 2, 4, 3, 5)
+            .reshape(n, channels, height, width)
+        )
+        return grad_input
+
+
+class GlobalAveragePooling2D(Layer):
+    """Average each feature map to a single value: ``(N, C, H, W) -> (N, C)``."""
+
+    def __init__(self) -> None:
+        self._input_shape: tuple[int, ...] | None = None
+
+    def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if inputs.ndim != 4:
+            raise ValueError(f"GAP expects NCHW input, got {inputs.shape}")
+        self._input_shape = inputs.shape
+        return inputs.mean(axis=(2, 3))
+
+    def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        if self._input_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, channels, height, width = self._input_shape
+        scale = 1.0 / (height * width)
+        return (
+            np.repeat(grad_output[:, :, None, None], height, axis=2).repeat(width, axis=3) * scale
+        )

@@ -1,0 +1,106 @@
+"""Exact predicate evaluation on full-detector output.
+
+This is the "final decision" stage of the paper's pipeline: once a frame has
+passed the approximate filters, the expensive detector runs and the query
+predicates are evaluated exactly on its detections (well-established spatial
+query processing — here simply pairwise checks over the small number of
+objects per frame, within the paper's stated scope of tens of objects).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.detection.base import Detection, FrameDetections
+from repro.query.ast import (
+    ColorPredicate,
+    CountPredicate,
+    Predicate,
+    Query,
+    RegionPredicate,
+    SpatialPredicate,
+)
+from repro.spatial.relations import evaluate_direction, inside_region
+from repro.video.scene import FrameGroundTruth
+
+
+def _count_predicate_holds(predicate: CountPredicate, detections: FrameDetections) -> bool:
+    count = (
+        detections.count
+        if predicate.class_name is None
+        else detections.count_of(predicate.class_name)
+    )
+    return predicate.operator.compare(count, predicate.value)
+
+
+def _spatial_predicate_holds(predicate: SpatialPredicate, detections: FrameDetections) -> bool:
+    subjects = detections.boxes_of(predicate.subject_class)
+    references = detections.boxes_of(predicate.reference_class)
+    for subject in subjects:
+        for reference in references:
+            if subject is reference:
+                continue
+            if evaluate_direction(subject, reference, predicate.direction).satisfied:
+                return True
+    return False
+
+
+def _region_predicate_holds(predicate: RegionPredicate, detections: FrameDetections) -> bool:
+    boxes = detections.boxes_of(predicate.class_name)
+    matching = sum(
+        1
+        for box in boxes
+        if inside_region(box, predicate.region) == predicate.inside
+    )
+    return predicate.operator.compare(matching, predicate.value)
+
+
+def _color_predicate_holds(predicate: ColorPredicate, detections: FrameDetections) -> bool:
+    return any(
+        detection.color_name == predicate.color
+        for detection in detections.of_class(predicate.class_name)
+    )
+
+
+def predicate_holds(predicate: Predicate, detections: FrameDetections) -> bool:
+    """Evaluate a single predicate on a frame's detections."""
+    if isinstance(predicate, CountPredicate):
+        return _count_predicate_holds(predicate, detections)
+    if isinstance(predicate, SpatialPredicate):
+        return _spatial_predicate_holds(predicate, detections)
+    if isinstance(predicate, RegionPredicate):
+        return _region_predicate_holds(predicate, detections)
+    if isinstance(predicate, ColorPredicate):
+        return _color_predicate_holds(predicate, detections)
+    raise TypeError(f"unknown predicate type: {type(predicate).__name__}")
+
+
+def evaluate_predicates_on_detections(
+    query: Query, detections: FrameDetections
+) -> bool:
+    """Whether a frame (represented by its detections) satisfies all query predicates."""
+    return all(predicate_holds(predicate, detections) for predicate in query.predicates)
+
+
+def evaluate_query_on_ground_truth(query: Query, ground_truth: FrameGroundTruth) -> bool:
+    """Evaluate a query against simulator ground truth (used only by tests).
+
+    Ground truth objects are converted to pseudo-detections with perfect
+    scores so the same predicate evaluation code path is exercised.
+    """
+    detections = FrameDetections(
+        frame_index=ground_truth.frame_index,
+        detections=tuple(
+            Detection(
+                class_name=state.class_name,
+                box=state.box,
+                score=1.0,
+                color_name=state.color_name,
+                track_id=state.track_id,
+            )
+            for state in ground_truth.objects
+        ),
+        latency_ms=0.0,
+        detector_name="ground_truth",
+    )
+    return evaluate_predicates_on_detections(query, detections)

@@ -1,0 +1,208 @@
+"""Streaming query execution with filter cascades.
+
+For every frame of the stream the executor runs the (cheap) filter cascade;
+only frames that survive every cascade step are handed to the expensive
+reference detector, whose detections are then checked exactly against the
+query predicates.  Frames rejected by the cascade are skipped entirely — this
+is the source of the orders-of-magnitude speedups reported in Table III.
+
+Costs are accounted twice:
+
+* *simulated* cost, using the paper's measured per-component latencies
+  (filter branches ~1.5–1.9 ms, Mask R-CNN ~200 ms), which is what the
+  execution-time tables report;
+* *wall-clock* cost of this reproduction's own code, reported alongside for
+  transparency (our numpy filters and simulated detector have very different
+  absolute costs than GPU inference).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.cost import CostBreakdown, SimulatedClock
+from repro.detection.base import Detector
+from repro.query.ast import Query
+from repro.query.evaluation import evaluate_predicates_on_detections
+from repro.query.planner import FilterCascade
+from repro.video.stream import VideoStream
+
+
+@dataclass(frozen=True)
+class ExecutionStats:
+    """Work and cost accounting for one query execution."""
+
+    frames_scanned: int
+    frames_passed_filters: int
+    detector_invocations: int
+    filter_invocations: int
+    simulated_cost: CostBreakdown
+    wall_clock_seconds: float
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.simulated_cost.total_seconds
+
+    @property
+    def filter_selectivity(self) -> float:
+        """Fraction of frames that survived the cascade (lower = more selective)."""
+        if self.frames_scanned == 0:
+            return 0.0
+        return self.frames_passed_filters / self.frames_scanned
+
+
+@dataclass(frozen=True)
+class QueryExecutionResult:
+    """The outcome of executing a query over a stream."""
+
+    query_name: str
+    cascade_description: str
+    matched_frames: tuple[int, ...]
+    stats: ExecutionStats
+
+    @property
+    def num_matches(self) -> int:
+        return len(self.matched_frames)
+
+    # ------------------------------------------------------------------
+    # Accuracy against a reference (brute-force) result
+    # ------------------------------------------------------------------
+    def accuracy_against(self, reference_frames: Iterable[int]) -> dict[str, float]:
+        """Precision / recall / F1 / accuracy relative to a reference answer set.
+
+        The paper reports, for count queries, the fraction of true answer
+        frames that the filtered execution identifies (here ``recall``; the
+        verification step makes false positives impossible when the same
+        detector defines the truth), and the F1 measure for spatial queries.
+        """
+        truth = set(reference_frames)
+        found = set(self.matched_frames)
+        true_positives = len(truth & found)
+        false_positives = len(found - truth)
+        false_negatives = len(truth - found)
+        precision = (
+            true_positives / (true_positives + false_positives)
+            if (true_positives + false_positives)
+            else 1.0
+        )
+        recall = (
+            true_positives / (true_positives + false_negatives)
+            if (true_positives + false_negatives)
+            else 1.0
+        )
+        f1 = (
+            2 * precision * recall / (precision + recall)
+            if (precision + recall) > 0
+            else 0.0
+        )
+        return {
+            "precision": precision,
+            "recall": recall,
+            "f1": f1,
+            "accuracy": recall,
+            "true_positives": float(true_positives),
+            "false_positives": float(false_positives),
+            "false_negatives": float(false_negatives),
+        }
+
+    def speedup_against(self, reference: "QueryExecutionResult") -> float:
+        """Simulated-time speedup relative to another execution (e.g. brute force)."""
+        own = self.stats.simulated_seconds
+        other = reference.stats.simulated_seconds
+        if own <= 0:
+            return float("inf")
+        return other / own
+
+
+class StreamingQueryExecutor:
+    """Executes queries over a stream with an optional filter cascade."""
+
+    def __init__(self, detector: Detector, clock: SimulatedClock | None = None) -> None:
+        self.detector = detector
+        self.clock = clock or SimulatedClock()
+
+    def execute(
+        self,
+        query: Query,
+        stream: VideoStream,
+        cascade: FilterCascade | None = None,
+        frame_indices: Sequence[int] | None = None,
+    ) -> QueryExecutionResult:
+        """Run ``query`` over ``stream`` (optionally restricted to ``frame_indices``)."""
+        indices = list(frame_indices) if frame_indices is not None else list(range(len(stream)))
+        self.clock.reset()
+        cascade = cascade or FilterCascade()
+        # The cascade's filters charge their latency to our clock for the
+        # duration of this execution.
+        previous_clocks = []
+        for frame_filter in cascade.filters:
+            previous_clocks.append((frame_filter, frame_filter.clock))
+            frame_filter.clock = self.clock
+        previous_detector_clock = getattr(self.detector, "clock", None)
+        if hasattr(self.detector, "clock"):
+            self.detector.clock = self.clock
+
+        matched: list[int] = []
+        frames_passed = 0
+        detector_invocations = 0
+        filter_invocations = 0
+        started = time.perf_counter()
+        try:
+            for index in indices:
+                frame = stream.frame(index)
+                predictions: dict[int, object] = {}
+                passed = True
+                for step in cascade:
+                    key = id(step.frame_filter)
+                    if key not in predictions:
+                        predictions[key] = step.frame_filter.predict(frame)
+                        filter_invocations += 1
+                    if not step.passes(predictions[key]):  # type: ignore[arg-type]
+                        passed = False
+                        break
+                if not passed:
+                    continue
+                frames_passed += 1
+                detections = self.detector.detect(frame)
+                detector_invocations += 1
+                if evaluate_predicates_on_detections(query, detections):
+                    matched.append(index)
+        finally:
+            for frame_filter, previous in previous_clocks:
+                frame_filter.clock = previous
+            if hasattr(self.detector, "clock"):
+                self.detector.clock = previous_detector_clock
+        elapsed = time.perf_counter() - started
+
+        stats = ExecutionStats(
+            frames_scanned=len(indices),
+            frames_passed_filters=frames_passed,
+            detector_invocations=detector_invocations,
+            filter_invocations=filter_invocations,
+            simulated_cost=self.clock.breakdown,
+            wall_clock_seconds=elapsed,
+        )
+        return QueryExecutionResult(
+            query_name=query.name,
+            cascade_description=cascade.describe(),
+            matched_frames=tuple(matched),
+            stats=stats,
+        )
+
+
+def brute_force_execute(
+    query: Query,
+    stream: VideoStream,
+    detector: Detector,
+    frame_indices: Sequence[int] | None = None,
+    clock: SimulatedClock | None = None,
+) -> QueryExecutionResult:
+    """Annotate every frame with the detector and evaluate the query exactly.
+
+    This is the baseline the paper compares against ("we also evaluate each
+    query in a brute force manner annotating all frames with Mask R-CNN").
+    """
+    executor = StreamingQueryExecutor(detector, clock=clock)
+    return executor.execute(query, stream, cascade=FilterCascade(), frame_indices=frame_indices)

@@ -1,0 +1,235 @@
+"""Query planning: assembling a cascade of approximate filters.
+
+The planner inspects the query's predicates and picks, for each predicate
+group, a cheap filter check that can rule frames out *before* the expensive
+detector runs:
+
+* count predicates  -> a CCF (class count) or CF (total count) check,
+* spatial predicates -> a CLF (class location) check on the thresholded grids,
+* region predicates -> a CLF check restricted to the region's grid cells.
+
+Each check is approximate, so it is applied with a *tolerance* (counts within
+±1 / ±2, grids dilated by Manhattan distance 1 / 2) chosen by
+:class:`PlannerConfig` — exactly the filter variants whose combinations the
+paper reports in Table III.  The paper leaves cascade *ordering* optimisation
+to future work; the planner applies count checks before location checks and
+otherwise preserves predicate order, and the cascade can also be constructed
+manually for ablation studies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+from scipy import ndimage
+
+from repro.filters.base import FilterPrediction, FrameFilter
+from repro.query.ast import (
+    ComparisonOperator,
+    CountPredicate,
+    Query,
+    RegionPredicate,
+    SpatialPredicate,
+)
+from repro.spatial.grid import GridMask
+from repro.spatial.relations import grid_masks_satisfy_direction
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Tolerances and preferences used when planning a cascade.
+
+    ``count_tolerance`` of 1 corresponds to using the ``*-CCF-1`` filter
+    variants, ``location_dilation`` of 1 to ``*-CLF-1``, and so on.  The
+    ``family`` chooses between the OD filters (default — better localisation)
+    and the IC filters.
+    """
+
+    count_tolerance: int = 1
+    location_dilation: int = 1
+    family: str = "od"
+    use_count_filter: bool = True
+    use_location_filter: bool = True
+
+    def __post_init__(self) -> None:
+        if self.count_tolerance < 0 or self.location_dilation < 0:
+            raise ValueError("tolerances must be non-negative")
+        if self.family not in ("od", "ic"):
+            raise ValueError(f"family must be 'od' or 'ic': {self.family!r}")
+
+
+@dataclass(frozen=True)
+class CascadeStep:
+    """One approximate check in the cascade.
+
+    ``check`` receives the filter's prediction for the frame and returns
+    ``True`` when the frame *may* satisfy the query (so it should continue
+    down the cascade) and ``False`` when it can be skipped.
+    """
+
+    name: str
+    frame_filter: FrameFilter
+    check: Callable[[FilterPrediction], bool]
+
+    def passes(self, prediction: FilterPrediction) -> bool:
+        return bool(self.check(prediction))
+
+
+@dataclass
+class FilterCascade:
+    """An ordered list of cascade steps sharing filter predictions per frame."""
+
+    steps: list[CascadeStep] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    @property
+    def filters(self) -> list[FrameFilter]:
+        """Distinct filters used by the cascade, in first-use order."""
+        seen: list[FrameFilter] = []
+        for step in self.steps:
+            if all(step.frame_filter is not existing for existing in seen):
+                seen.append(step.frame_filter)
+        return seen
+
+    def describe(self) -> str:
+        return " -> ".join(step.name for step in self.steps) if self.steps else "(empty)"
+
+
+# ----------------------------------------------------------------------
+# Predicate checks over filter predictions
+# ----------------------------------------------------------------------
+def _count_possible(
+    predicate: CountPredicate, prediction: FilterPrediction, tolerance: int
+) -> bool:
+    predicted = (
+        prediction.total_count
+        if predicate.class_name is None
+        else prediction.count_of(predicate.class_name)
+    )
+    if predicate.operator is ComparisonOperator.EQUAL:
+        return abs(predicted - predicate.value) <= tolerance
+    if predicate.operator is ComparisonOperator.AT_LEAST:
+        return predicted >= predicate.value - tolerance
+    if predicate.operator is ComparisonOperator.AT_MOST:
+        return predicted <= predicate.value + tolerance
+    raise ValueError(f"unknown operator {predicate.operator}")  # pragma: no cover
+
+
+def _spatial_possible(
+    predicate: SpatialPredicate, prediction: FilterPrediction, dilation: int
+) -> bool:
+    subject = prediction.location_mask(predicate.subject_class, dilation=dilation)
+    reference = prediction.location_mask(predicate.reference_class, dilation=dilation)
+    if not subject or not reference:
+        return False
+    return grid_masks_satisfy_direction(subject, reference, predicate.direction)
+
+
+def _region_possible(
+    predicate: RegionPredicate, prediction: FilterPrediction, dilation: int
+) -> bool:
+    mask = prediction.location_mask(predicate.class_name, dilation=dilation)
+    region_mask = predicate.region.grid_mask(prediction.grid)
+    selected = mask.intersection(region_mask) if predicate.inside else mask.difference(region_mask)
+    # Approximate the number of objects in the region by the number of
+    # connected blobs of the selected cells.
+    if not selected:
+        blob_count = 0
+    else:
+        _, blob_count = ndimage.label(selected.values)
+    tolerance = dilation  # reuse the dilation level as the count slack
+    if predicate.operator is ComparisonOperator.EQUAL:
+        return abs(blob_count - predicate.value) <= tolerance
+    if predicate.operator is ComparisonOperator.AT_LEAST:
+        return blob_count >= predicate.value - tolerance
+    if predicate.operator is ComparisonOperator.AT_MOST:
+        return blob_count <= predicate.value + tolerance
+    raise ValueError(f"unknown operator {predicate.operator}")  # pragma: no cover
+
+
+class QueryPlanner:
+    """Plans a :class:`FilterCascade` for a query from the available filters."""
+
+    def __init__(
+        self,
+        filters: Mapping[str, FrameFilter],
+        config: PlannerConfig | None = None,
+    ) -> None:
+        """``filters`` maps family names (``"od"``, ``"ic"``, ``"od_cof"``) to trained filters."""
+        if not filters:
+            raise ValueError("the planner needs at least one trained filter")
+        self.filters = dict(filters)
+        self.config = config or PlannerConfig()
+
+    def _primary_filter(self) -> FrameFilter:
+        preferred = self.config.family
+        if preferred in self.filters:
+            return self.filters[preferred]
+        # Fall back to any filter with per-class output.
+        for name in ("od", "ic"):
+            if name in self.filters:
+                return self.filters[name]
+        raise KeyError(
+            f"no class-aware filter available among {sorted(self.filters)}"
+        )
+
+    def plan(self, query: Query) -> FilterCascade:
+        """Build the filter cascade for ``query``."""
+        config = self.config
+        cascade = FilterCascade()
+        primary = self._primary_filter()
+        family_label = primary.family.upper()
+
+        if config.use_count_filter and query.count_predicates:
+            count_predicates = list(query.count_predicates)
+            tolerance = config.count_tolerance
+            suffix = f"-{tolerance}" if tolerance else ""
+            per_class = [p for p in count_predicates if p.class_name is not None]
+            total_only = [p for p in count_predicates if p.class_name is None]
+            if per_class:
+                cascade.steps.append(
+                    CascadeStep(
+                        name=f"{family_label}-CCF{suffix}",
+                        frame_filter=primary,
+                        check=lambda prediction, preds=tuple(per_class), tol=tolerance: all(
+                            _count_possible(p, prediction, tol) for p in preds
+                        ),
+                    )
+                )
+            if total_only:
+                count_filter = self.filters.get("od_cof", primary)
+                label = "OD-COF" if "od_cof" in self.filters else f"{family_label}-CF"
+                cascade.steps.append(
+                    CascadeStep(
+                        name=f"{label}{suffix}",
+                        frame_filter=count_filter,
+                        check=lambda prediction, preds=tuple(total_only), tol=tolerance: all(
+                            _count_possible(p, prediction, tol) for p in preds
+                        ),
+                    )
+                )
+
+        if config.use_location_filter and (query.spatial_predicates or query.region_predicates):
+            dilation = config.location_dilation
+            suffix = f"-{dilation}" if dilation else ""
+            spatial = tuple(query.spatial_predicates)
+            regions = tuple(query.region_predicates)
+            cascade.steps.append(
+                CascadeStep(
+                    name=f"{family_label}-CLF{suffix}",
+                    frame_filter=primary,
+                    check=lambda prediction, sp=spatial, rg=regions, dil=dilation: all(
+                        _spatial_possible(p, prediction, dil) for p in sp
+                    )
+                    and all(_region_possible(p, prediction, dil) for p in rg),
+                )
+            )
+
+        return cascade

@@ -1,0 +1,157 @@
+"""Composable spatial constraints.
+
+A :class:`Constraint` is a boolean predicate over a *binding* — a mapping from
+query variable names (e.g. ``"vehType1"``) to concrete objects (boxes or grid
+masks).  Constraints compose with AND / OR / NOT, mirroring how the paper's
+WHERE clauses combine class predicates, count predicates and ORDER
+constraints.
+
+Two evaluation modes are supported through the same interface:
+
+* exact mode — bindings map variables to :class:`~repro.spatial.geometry.Box`
+  instances coming from a full object detector;
+* grid mode — bindings map variables to
+  :class:`~repro.spatial.grid.GridMask` instances coming from CLF filters.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Mapping, Union
+
+from repro.spatial.geometry import Box
+from repro.spatial.grid import GridMask
+from repro.spatial.regions import Region
+from repro.spatial.relations import (
+    Direction,
+    evaluate_direction,
+    grid_masks_satisfy_direction,
+    inside_region,
+)
+
+Binding = Mapping[str, Union[Box, GridMask]]
+
+
+class Constraint(abc.ABC):
+    """A boolean predicate over a variable binding."""
+
+    @abc.abstractmethod
+    def evaluate(self, binding: Binding) -> bool:
+        """Evaluate the constraint; missing variables make it false."""
+
+    @abc.abstractmethod
+    def variables(self) -> frozenset[str]:
+        """The variable names the constraint refers to."""
+
+    # ------------------------------------------------------------------
+    # Combinators
+    # ------------------------------------------------------------------
+    def __and__(self, other: "Constraint") -> "AndConstraint":
+        return AndConstraint((self, other))
+
+    def __or__(self, other: "Constraint") -> "OrConstraint":
+        return OrConstraint((self, other))
+
+    def __invert__(self) -> "NotConstraint":
+        return NotConstraint(self)
+
+
+@dataclass(frozen=True)
+class DirectionalConstraint(Constraint):
+    """``subject <direction> reference`` between two bound variables."""
+
+    subject: str
+    reference: str
+    direction: Direction
+    margin: float = 0.0
+
+    def evaluate(self, binding: Binding) -> bool:
+        if self.subject not in binding or self.reference not in binding:
+            return False
+        a = binding[self.subject]
+        b = binding[self.reference]
+        if isinstance(a, GridMask) and isinstance(b, GridMask):
+            return grid_masks_satisfy_direction(a, b, self.direction)
+        if isinstance(a, Box) and isinstance(b, Box):
+            return evaluate_direction(a, b, self.direction, margin=self.margin).satisfied
+        raise TypeError(
+            "directional constraint requires two boxes or two grid masks, got "
+            f"{type(a).__name__} and {type(b).__name__}"
+        )
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.subject, self.reference})
+
+
+@dataclass(frozen=True)
+class RegionConstraint(Constraint):
+    """``subject`` lies inside (or outside) a fixed screen region."""
+
+    subject: str
+    region: Region
+    inside: bool = True
+    mode: str = "center"
+
+    def evaluate(self, binding: Binding) -> bool:
+        if self.subject not in binding:
+            return False
+        obj = binding[self.subject]
+        if isinstance(obj, GridMask):
+            region_mask = self.region.grid_mask(obj.grid)
+            contained = bool(obj.intersection(region_mask))
+        elif isinstance(obj, Box):
+            contained = inside_region(obj, self.region, mode=self.mode)
+        else:
+            raise TypeError(
+                f"region constraint requires a box or grid mask, got {type(obj).__name__}"
+            )
+        return contained if self.inside else not contained
+
+    def variables(self) -> frozenset[str]:
+        return frozenset({self.subject})
+
+
+@dataclass(frozen=True)
+class AndConstraint(Constraint):
+    """Conjunction of constraints (true when all members are true)."""
+
+    members: tuple[Constraint, ...]
+
+    def evaluate(self, binding: Binding) -> bool:
+        return all(member.evaluate(binding) for member in self.members)
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for member in self.members:
+            result |= member.variables()
+        return result
+
+
+@dataclass(frozen=True)
+class OrConstraint(Constraint):
+    """Disjunction of constraints (true when any member is true)."""
+
+    members: tuple[Constraint, ...]
+
+    def evaluate(self, binding: Binding) -> bool:
+        return any(member.evaluate(binding) for member in self.members)
+
+    def variables(self) -> frozenset[str]:
+        result: frozenset[str] = frozenset()
+        for member in self.members:
+            result |= member.variables()
+        return result
+
+
+@dataclass(frozen=True)
+class NotConstraint(Constraint):
+    """Negation of a constraint."""
+
+    member: Constraint
+
+    def evaluate(self, binding: Binding) -> bool:
+        return not self.member.evaluate(binding)
+
+    def variables(self) -> frozenset[str]:
+        return self.member.variables()

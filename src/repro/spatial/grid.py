@@ -1,0 +1,232 @@
+"""Grid abstraction used by class-location filters (CLF).
+
+The paper's CLF filters do not predict exact object extents; they predict, on
+a ``g x g`` grid overlaid on the frame (``g = 56`` by default), which cells
+contain an object of each class.  Spatial constraints are then evaluated over
+the occupied cells.  This module provides the mapping between pixel
+coordinates / bounding boxes and grid cells, binary grid masks, and the
+Manhattan-distance neighbourhoods used by the ``CLF-1`` / ``CLF-2`` tolerance
+variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from repro.spatial.geometry import Box, Point
+
+
+@dataclass(frozen=True)
+class Grid:
+    """A ``rows x cols`` grid overlaid on a ``width x height`` pixel frame."""
+
+    rows: int
+    cols: int
+    frame_width: int
+    frame_height: int
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.cols <= 0:
+            raise ValueError(f"grid dimensions must be positive: {self.rows}x{self.cols}")
+        if self.frame_width <= 0 or self.frame_height <= 0:
+            raise ValueError(
+                "frame dimensions must be positive: "
+                f"{self.frame_width}x{self.frame_height}"
+            )
+
+    @classmethod
+    def square(cls, g: int, frame_size: int) -> "Grid":
+        """A ``g x g`` grid over a square ``frame_size x frame_size`` frame."""
+        return cls(rows=g, cols=g, frame_width=frame_size, frame_height=frame_size)
+
+    @property
+    def cell_width(self) -> float:
+        return self.frame_width / self.cols
+
+    @property
+    def cell_height(self) -> float:
+        return self.frame_height / self.rows
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.rows, self.cols)
+
+    # ------------------------------------------------------------------
+    # Pixel <-> cell mapping
+    # ------------------------------------------------------------------
+    def cell_of_point(self, point: Point) -> tuple[int, int]:
+        """The ``(row, col)`` cell containing ``point`` (clamped to the frame)."""
+        col = int(point.x / self.cell_width)
+        row = int(point.y / self.cell_height)
+        row = min(max(row, 0), self.rows - 1)
+        col = min(max(col, 0), self.cols - 1)
+        return (row, col)
+
+    def cell_box(self, row: int, col: int) -> Box:
+        """The pixel-space bounding box of cell ``(row, col)``."""
+        self._check_cell(row, col)
+        return Box(
+            col * self.cell_width,
+            row * self.cell_height,
+            (col + 1) * self.cell_width,
+            (row + 1) * self.cell_height,
+        )
+
+    def cell_center(self, row: int, col: int) -> Point:
+        """The pixel-space center of cell ``(row, col)``."""
+        return self.cell_box(row, col).center
+
+    def cells_overlapping_box(self, box: Box, min_coverage: float = 0.0) -> list[tuple[int, int]]:
+        """All cells whose area overlaps ``box``.
+
+        ``min_coverage`` requires the intersection to cover at least that
+        fraction of the *cell* area; the default of 0 returns every touched
+        cell.  This is the down-scaling used to turn detector bounding boxes
+        into ground-truth location grids for filter training.
+        """
+        clipped = box.clipped(self.frame_width, self.frame_height)
+        if clipped is None:
+            return []
+        col_start = int(clipped.x_min / self.cell_width)
+        col_end = min(int(np.ceil(clipped.x_max / self.cell_width)), self.cols)
+        row_start = int(clipped.y_min / self.cell_height)
+        row_end = min(int(np.ceil(clipped.y_max / self.cell_height)), self.rows)
+        cells: list[tuple[int, int]] = []
+        for row in range(row_start, row_end):
+            for col in range(col_start, col_end):
+                if min_coverage <= 0.0:
+                    cells.append((row, col))
+                    continue
+                cell_box = self.cell_box(row, col)
+                inter = cell_box.intersection(clipped)
+                if inter is not None and inter.area / cell_box.area >= min_coverage:
+                    cells.append((row, col))
+        return cells
+
+    def mask_from_boxes(self, boxes: Iterable[Box], min_coverage: float = 0.0) -> "GridMask":
+        """A binary mask with all cells overlapped by any of ``boxes`` set."""
+        mask = np.zeros(self.shape, dtype=bool)
+        for box in boxes:
+            for row, col in self.cells_overlapping_box(box, min_coverage=min_coverage):
+                mask[row, col] = True
+        return GridMask(grid=self, values=mask)
+
+    def empty_mask(self) -> "GridMask":
+        """An all-false mask on this grid."""
+        return GridMask(grid=self, values=np.zeros(self.shape, dtype=bool))
+
+    def _check_cell(self, row: int, col: int) -> None:
+        if not (0 <= row < self.rows and 0 <= col < self.cols):
+            raise IndexError(f"cell ({row}, {col}) outside grid {self.rows}x{self.cols}")
+
+
+def cells_within_manhattan(
+    cell: tuple[int, int], distance: int, rows: int, cols: int
+) -> list[tuple[int, int]]:
+    """All grid cells within the given Manhattan distance of ``cell``.
+
+    Used by the ``CLF-1`` / ``CLF-2`` tolerance metrics: a predicted cell is
+    judged correct when a ground-truth object of the same class lies within
+    Manhattan distance 1 (any of the 4 adjacent cells) or 2 of the prediction.
+    """
+    if distance < 0:
+        raise ValueError(f"distance must be non-negative: {distance}")
+    row0, col0 = cell
+    result: list[tuple[int, int]] = []
+    for dr in range(-distance, distance + 1):
+        remaining = distance - abs(dr)
+        for dc in range(-remaining, remaining + 1):
+            row, col = row0 + dr, col0 + dc
+            if 0 <= row < rows and 0 <= col < cols:
+                result.append((row, col))
+    return result
+
+
+@dataclass
+class GridMask:
+    """A boolean occupancy mask over a :class:`Grid`.
+
+    ``values[row, col]`` is ``True`` when the corresponding cell is occupied
+    by (a predicted or ground-truth) object of some class.
+    """
+
+    grid: Grid
+    values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.values, dtype=bool)
+        if values.shape != self.grid.shape:
+            raise ValueError(
+                f"mask shape {values.shape} does not match grid {self.grid.shape}"
+            )
+        self.values = values
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    def __bool__(self) -> bool:
+        return bool(self.values.any())
+
+    @property
+    def count(self) -> int:
+        """Number of occupied cells."""
+        return int(self.values.sum())
+
+    def occupied_cells(self) -> list[tuple[int, int]]:
+        """Row-major list of occupied ``(row, col)`` cells."""
+        rows, cols = np.nonzero(self.values)
+        return list(zip(rows.tolist(), cols.tolist()))
+
+    def iter_centers(self) -> Iterator[Point]:
+        """Pixel-space centers of the occupied cells."""
+        for row, col in self.occupied_cells():
+            yield self.grid.cell_center(row, col)
+
+    def centroid(self) -> Point | None:
+        """Pixel-space centroid of the occupied cells, or ``None`` if empty."""
+        cells = self.occupied_cells()
+        if not cells:
+            return None
+        xs = [self.grid.cell_center(r, c).x for r, c in cells]
+        ys = [self.grid.cell_center(r, c).y for r, c in cells]
+        return Point(sum(xs) / len(xs), sum(ys) / len(ys))
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "GridMask") -> "GridMask":
+        self._check_compatible(other)
+        return GridMask(grid=self.grid, values=self.values | other.values)
+
+    def intersection(self, other: "GridMask") -> "GridMask":
+        self._check_compatible(other)
+        return GridMask(grid=self.grid, values=self.values & other.values)
+
+    def difference(self, other: "GridMask") -> "GridMask":
+        self._check_compatible(other)
+        return GridMask(grid=self.grid, values=self.values & ~other.values)
+
+    def dilated(self, distance: int) -> "GridMask":
+        """Mask grown by ``distance`` in Manhattan metric (tolerance matching)."""
+        if distance <= 0:
+            return GridMask(grid=self.grid, values=self.values.copy())
+        grown = np.zeros_like(self.values)
+        for row, col in self.occupied_cells():
+            for r, c in cells_within_manhattan(
+                (row, col), distance, self.grid.rows, self.grid.cols
+            ):
+                grown[r, c] = True
+        return GridMask(grid=self.grid, values=grown)
+
+    def restricted_to(self, region_mask: "GridMask") -> "GridMask":
+        """Alias of :meth:`intersection`, reads better for screen regions."""
+        return self.intersection(region_mask)
+
+    def _check_compatible(self, other: "GridMask") -> None:
+        if self.grid.shape != other.grid.shape:
+            raise ValueError(
+                f"incompatible grids: {self.grid.shape} vs {other.grid.shape}"
+            )

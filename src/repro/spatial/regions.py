@@ -1,0 +1,86 @@
+"""Named screen regions (quadrants, bike lanes, entrances, ...).
+
+The paper's queries constrain objects not only relative to each other but
+also relative to fixed areas of the visible screen, e.g. "two people in the
+lower-left quadrant" (query q2) or "bicycles in the bike lane".  A
+:class:`Region` is simply a named box in frame coordinates, with helpers for
+the four quadrants which the evaluation queries use repeatedly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.spatial.geometry import Box, Point
+from repro.spatial.grid import Grid, GridMask
+
+
+class Quadrant(enum.Enum):
+    """The four screen quadrants, named from the viewer's perspective."""
+
+    UPPER_LEFT = "upper_left"
+    UPPER_RIGHT = "upper_right"
+    LOWER_LEFT = "lower_left"
+    LOWER_RIGHT = "lower_right"
+
+
+@dataclass(frozen=True)
+class Region:
+    """A named rectangular region of the screen."""
+
+    name: str
+    box: Box
+
+    def contains_point(self, point: Point) -> bool:
+        return self.box.contains_point(point)
+
+    def contains_box(self, box: Box, mode: str = "center") -> bool:
+        """Whether ``box`` is considered inside the region.
+
+        ``mode`` selects the containment semantics:
+
+        * ``"center"`` (default) — the box center lies inside the region;
+          this is the semantics the paper uses when mapping detections to
+          screen areas.
+        * ``"full"`` — the box lies entirely within the region.
+        * ``"overlap"`` — the box overlaps the region at all.
+        """
+        if mode == "center":
+            return self.box.contains_point(box.center)
+        if mode == "full":
+            return self.box.contains_box(box)
+        if mode == "overlap":
+            return self.box.intersects(box)
+        raise ValueError(f"unknown containment mode: {mode!r}")
+
+    def grid_mask(self, grid: Grid) -> GridMask:
+        """The set of grid cells whose centers fall inside the region."""
+        values = grid.empty_mask().values
+        for row in range(grid.rows):
+            for col in range(grid.cols):
+                if self.box.contains_point(grid.cell_center(row, col)):
+                    values[row, col] = True
+        return GridMask(grid=grid, values=values)
+
+
+def full_frame_region(width: int, height: int) -> Region:
+    """The region covering the entire frame."""
+    return Region(name="frame", box=Box(0, 0, width, height))
+
+
+def quadrant_region(quadrant: Quadrant, width: int, height: int) -> Region:
+    """One of the four screen quadrants of a ``width x height`` frame."""
+    half_w = width / 2.0
+    half_h = height / 2.0
+    if quadrant is Quadrant.UPPER_LEFT:
+        box = Box(0, 0, half_w, half_h)
+    elif quadrant is Quadrant.UPPER_RIGHT:
+        box = Box(half_w, 0, width, half_h)
+    elif quadrant is Quadrant.LOWER_LEFT:
+        box = Box(0, half_h, half_w, height)
+    elif quadrant is Quadrant.LOWER_RIGHT:
+        box = Box(half_w, half_h, width, height)
+    else:  # pragma: no cover - exhaustive enum
+        raise ValueError(f"unknown quadrant: {quadrant}")
+    return Region(name=quadrant.value, box=box)

@@ -1,0 +1,171 @@
+"""Directional spatial relations between objects.
+
+The paper's query language expresses constraints such as
+``ORDER(vehType1, vehType2) = RIGHT`` — "the second object is to the right of
+the first".  This module evaluates such constraints both on exact bounding
+boxes (full detector output) and on coarse grid occupancy masks (CLF filter
+output).
+
+Semantics of ``A <direction> B`` (e.g. ``LEFT_OF``): the relation holds when
+the *center* of ``A`` is strictly on that side of the center of ``B`` along
+the relevant axis.  An optional ``margin`` (in pixels) requires the separation
+to exceed a threshold, which is useful to ignore near-ties caused by grid
+quantisation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.spatial.geometry import Box, Point
+from repro.spatial.grid import GridMask
+from repro.spatial.regions import Region
+
+
+class Direction(enum.Enum):
+    """Directional relations between two objects (``A`` relative to ``B``)."""
+
+    LEFT_OF = "left_of"
+    RIGHT_OF = "right_of"
+    ABOVE = "above"
+    BELOW = "below"
+
+    @property
+    def inverse(self) -> "Direction":
+        """The relation with the operands swapped (A left of B == B right of A)."""
+        return _INVERSES[self]
+
+    @classmethod
+    def from_keyword(cls, keyword: str) -> "Direction":
+        """Parse the keyword used in the paper's ``ORDER(a, b) = KEYWORD`` syntax.
+
+        In the paper's syntax ``ORDER(a, b) = RIGHT`` means "b is at the right
+        of a", i.e. *a is left of b*.  ``from_keyword`` therefore returns the
+        relation that the *first* operand bears to the *second*.
+        """
+        normalized = keyword.strip().lower()
+        mapping = {
+            "right": cls.LEFT_OF,
+            "left": cls.RIGHT_OF,
+            "above": cls.BELOW,
+            "below": cls.ABOVE,
+        }
+        if normalized not in mapping:
+            raise ValueError(f"unknown ORDER keyword: {keyword!r}")
+        return mapping[normalized]
+
+
+_INVERSES = {
+    Direction.LEFT_OF: Direction.RIGHT_OF,
+    Direction.RIGHT_OF: Direction.LEFT_OF,
+    Direction.ABOVE: Direction.BELOW,
+    Direction.BELOW: Direction.ABOVE,
+}
+
+
+@dataclass(frozen=True)
+class RelationResult:
+    """Outcome of evaluating a spatial relation.
+
+    ``satisfied`` is the boolean verdict; ``separation`` is the signed
+    distance (in pixels) along the relevant axis, positive when the relation
+    holds, which callers can use for margins or diagnostics.
+    """
+
+    satisfied: bool
+    separation: float
+
+
+def _separation(a: Point, b: Point, direction: Direction) -> float:
+    if direction is Direction.LEFT_OF:
+        return b.x - a.x
+    if direction is Direction.RIGHT_OF:
+        return a.x - b.x
+    if direction is Direction.ABOVE:
+        return b.y - a.y
+    if direction is Direction.BELOW:
+        return a.y - b.y
+    raise ValueError(f"unknown direction: {direction}")  # pragma: no cover
+
+
+def direction_between(a: Point, b: Point) -> list[Direction]:
+    """All directional relations that hold between points ``a`` and ``b``."""
+    return [d for d in Direction if _separation(a, b, d) > 0]
+
+
+def evaluate_direction(
+    a: Box | Point, b: Box | Point, direction: Direction, margin: float = 0.0
+) -> RelationResult:
+    """Evaluate ``a <direction> b`` on boxes or points.
+
+    Boxes are reduced to their centers; the relation holds when the signed
+    separation exceeds ``margin``.
+    """
+    if margin < 0:
+        raise ValueError(f"margin must be non-negative: {margin}")
+    point_a = a.center if isinstance(a, Box) else a
+    point_b = b.center if isinstance(b, Box) else b
+    separation = _separation(point_a, point_b, direction)
+    return RelationResult(satisfied=separation > margin, separation=separation)
+
+
+def evaluate_direction_on_grid(
+    a: GridMask, b: GridMask, direction: Direction, margin_cells: float = 0.0
+) -> RelationResult:
+    """Evaluate ``a <direction> b`` on grid occupancy masks via their centroids.
+
+    This is how the CLF filters pre-evaluate spatial constraints: each class
+    is localised on the grid, the masks are reduced to centroids, and the
+    directional relation is tested with an optional margin expressed in grid
+    cells.  Empty masks never satisfy a relation (there is nothing to relate).
+    """
+    centroid_a = a.centroid()
+    centroid_b = b.centroid()
+    if centroid_a is None or centroid_b is None:
+        return RelationResult(satisfied=False, separation=float("-inf"))
+    cell_extent = (
+        a.grid.cell_width
+        if direction in (Direction.LEFT_OF, Direction.RIGHT_OF)
+        else a.grid.cell_height
+    )
+    return evaluate_direction(
+        centroid_a, centroid_b, direction, margin=margin_cells * cell_extent
+    )
+
+
+def grid_masks_satisfy_direction(
+    a: GridMask, b: GridMask, direction: Direction, margin_cells: float = 0.0
+) -> bool:
+    """Existential variant: some occupied cell of ``a`` bears the relation to some cell of ``b``.
+
+    The centroid-based :func:`evaluate_direction_on_grid` can miss
+    configurations where e.g. one of several cars is left of the bus; the
+    existential variant checks every pair of occupied cells and is what the
+    query executor uses when a query asks whether *any* object of class A is
+    left of *any* object of class B.
+    """
+    cells_a = a.occupied_cells()
+    cells_b = b.occupied_cells()
+    if not cells_a or not cells_b:
+        return False
+    cell_extent = (
+        a.grid.cell_width
+        if direction in (Direction.LEFT_OF, Direction.RIGHT_OF)
+        else a.grid.cell_height
+    )
+    margin = margin_cells * cell_extent
+    for row_a, col_a in cells_a:
+        center_a = a.grid.cell_center(row_a, col_a)
+        for row_b, col_b in cells_b:
+            center_b = b.grid.cell_center(row_b, col_b)
+            if _separation(center_a, center_b, direction) > margin:
+                return True
+    return False
+
+
+def inside_region(obj: Box | Point, region: Region, mode: str = "center") -> bool:
+    """Whether an object (box or point) lies inside a screen region."""
+    if isinstance(obj, Point):
+        return region.contains_point(obj)
+    return region.contains_box(obj, mode=mode)

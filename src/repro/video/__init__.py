@@ -1,0 +1,72 @@
+"""Synthetic single-static-camera video substrate.
+
+The paper evaluates on three real surveillance video datasets (Coral, Jackson
+town square, Detrac).  Those videos are not redistributable and are annotated
+with a GPU object detector, so this package provides the substitute described
+in DESIGN.md: a parameterised scene simulator whose per-frame object count
+distribution, class mix and motion behaviour match the statistics the paper
+reports in Table II, together with a pixel renderer that draws class-
+distinctive objects so that the approximate filters face an honest learning
+problem on real pixel input.
+"""
+
+from repro.video.objects import (
+    AppearanceModel,
+    ObjectClass,
+    ObjectState,
+    TrackedObject,
+    default_class_registry,
+)
+from repro.video.motion import (
+    LinearMotion,
+    MotionModel,
+    ParkedMotion,
+    WanderMotion,
+    WaypointMotion,
+)
+from repro.video.scene import FrameGroundTruth, Scene, SceneConfig, SceneSimulator
+from repro.video.synthesis import ClassMixEntry, DatasetProfile
+from repro.video.renderer import FrameRenderer, RendererConfig
+from repro.video.stream import Frame, VideoDataset, VideoStream
+from repro.video.datasets import (
+    CORAL_PROFILE,
+    DETRAC_PROFILE,
+    JACKSON_PROFILE,
+    build_coral,
+    build_dataset,
+    build_detrac,
+    build_jackson,
+    dataset_profiles,
+)
+
+__all__ = [
+    "AppearanceModel",
+    "ObjectClass",
+    "ObjectState",
+    "TrackedObject",
+    "default_class_registry",
+    "MotionModel",
+    "LinearMotion",
+    "ParkedMotion",
+    "WanderMotion",
+    "WaypointMotion",
+    "Scene",
+    "SceneConfig",
+    "SceneSimulator",
+    "FrameGroundTruth",
+    "ClassMixEntry",
+    "DatasetProfile",
+    "FrameRenderer",
+    "RendererConfig",
+    "Frame",
+    "VideoStream",
+    "VideoDataset",
+    "CORAL_PROFILE",
+    "JACKSON_PROFILE",
+    "DETRAC_PROFILE",
+    "build_coral",
+    "build_jackson",
+    "build_detrac",
+    "build_dataset",
+    "dataset_profiles",
+]

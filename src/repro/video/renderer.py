@@ -1,0 +1,162 @@
+"""Frame rendering: turning ground truth into pixel arrays.
+
+The approximate filters in this reproduction are trained on pixels, exactly
+as in the paper — they never see the simulator's ground truth directly (the
+ground truth is only used to produce training labels, the role Mask R-CNN
+plays in the paper).  The renderer therefore needs to produce frames in which
+object classes are visually distinguishable but noisy enough that estimation
+is a non-trivial learning problem: objects are drawn with class-specific
+shapes and per-instance colors over a textured static background, objects can
+overlap (occlusion), and per-frame sensor noise is added.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.video.objects import NAMED_COLORS, ObjectState
+from repro.video.scene import FrameGroundTruth
+
+
+@dataclass(frozen=True)
+class RendererConfig:
+    """Rendering parameters.
+
+    ``output_size`` is the resolution (square) of the rendered array; it can
+    be lower than the logical frame size — the filters operate on
+    down-sampled input just like the paper resizes frames to the network
+    input resolution (448x448 for YOLOv2).
+    """
+
+    output_size: int = 112
+    background_color: tuple[int, int, int] = (90, 95, 100)
+    background_texture: float = 6.0
+    pixel_noise: float = 4.0
+    draw_borders: bool = True
+    seed: int = 0
+
+
+class FrameRenderer:
+    """Renders :class:`FrameGroundTruth` into ``(H, W, 3)`` uint8 arrays."""
+
+    def __init__(self, config: RendererConfig | None = None) -> None:
+        self._config = config or RendererConfig()
+        self._background_cache: dict[tuple[int, int], np.ndarray] = {}
+
+    @property
+    def config(self) -> RendererConfig:
+        return self._config
+
+    # ------------------------------------------------------------------
+    # Background
+    # ------------------------------------------------------------------
+    def _background(self, height: int, width: int) -> np.ndarray:
+        """The static background of the (single, fixed) camera."""
+        key = (height, width)
+        cached = self._background_cache.get(key)
+        if cached is not None:
+            return cached
+        config = self._config
+        rng = np.random.default_rng(config.seed)
+        base = np.empty((height, width, 3), dtype=np.float32)
+        base[..., 0] = config.background_color[0]
+        base[..., 1] = config.background_color[1]
+        base[..., 2] = config.background_color[2]
+        if config.background_texture > 0:
+            texture = rng.normal(0.0, config.background_texture, size=(height, width, 1))
+            base = base + texture
+        # A couple of static structures (road / horizon bands) so the
+        # background is not uniform; they are part of the fixed camera view.
+        band_top = int(height * 0.55)
+        base[band_top:, :, :] *= 0.85
+        lane_y = int(height * 0.75)
+        base[lane_y : lane_y + max(height // 60, 1), :, :] += 35.0
+        background = np.clip(base, 0, 255)
+        self._background_cache[key] = background
+        return background
+
+    # ------------------------------------------------------------------
+    # Object drawing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scaled_box(
+        state: ObjectState, scale_x: float, scale_y: float, width: int, height: int
+    ) -> tuple[int, int, int, int] | None:
+        box = state.box.scaled(scale_x, scale_y).clipped(width, height)
+        if box is None:
+            return None
+        x_min = int(np.floor(box.x_min))
+        y_min = int(np.floor(box.y_min))
+        x_max = max(int(np.ceil(box.x_max)), x_min + 1)
+        y_max = max(int(np.ceil(box.y_max)), y_min + 1)
+        return x_min, y_min, min(x_max, width), min(y_max, height)
+
+    def _draw_object(
+        self,
+        canvas: np.ndarray,
+        state: ObjectState,
+        scale_x: float,
+        scale_y: float,
+        rng: np.random.Generator,
+    ) -> None:
+        height, width = canvas.shape[:2]
+        scaled = self._scaled_box(state, scale_x, scale_y, width, height)
+        if scaled is None:
+            return
+        x_min, y_min, x_max, y_max = scaled
+        color = np.array(NAMED_COLORS[state.color_name], dtype=np.float32)
+        # Slight per-instance shading so identically colored objects still differ.
+        shade = float(rng.uniform(0.85, 1.1))
+        color = np.clip(color * shade, 0, 255)
+
+        region = canvas[y_min:y_max, x_min:x_max, :]
+        h, w = region.shape[:2]
+        if h == 0 or w == 0:
+            return
+
+        if state.object_class.appearance.shape == "ellipse":
+            yy, xx = np.mgrid[0:h, 0:w]
+            cy, cx = (h - 1) / 2.0, (w - 1) / 2.0
+            ry, rx = max(h / 2.0, 1.0), max(w / 2.0, 1.0)
+            mask = ((yy - cy) / ry) ** 2 + ((xx - cx) / rx) ** 2 <= 1.0
+        else:
+            mask = np.ones((h, w), dtype=bool)
+
+        region[mask] = color
+        if self._config.draw_borders and min(h, w) >= 4:
+            border = np.clip(color * 0.55, 0, 255)
+            region[0, :, :][mask[0, :]] = border
+            region[-1, :, :][mask[-1, :]] = border
+            region[:, 0, :][mask[:, 0]] = border
+            region[:, -1, :][mask[:, -1]] = border
+        # Class-specific detail: vehicles get a darker "windshield" patch near
+        # the top, which helps distinguish rectangles of similar colors.
+        if state.object_class.appearance.shape == "rectangle" and h >= 6 and w >= 6:
+            ws_h = max(h // 4, 1)
+            ws_w = max(w // 2, 1)
+            ws_x = (w - ws_w) // 2
+            region[1 : 1 + ws_h, ws_x : ws_x + ws_w, :] = np.clip(color * 0.4, 0, 255)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def render(self, ground_truth: FrameGroundTruth) -> np.ndarray:
+        """Render a frame to an ``(output_size, output_size, 3)`` uint8 array."""
+        config = self._config
+        size = config.output_size
+        scale_x = size / ground_truth.frame_width
+        scale_y = size / ground_truth.frame_height
+        canvas = self._background(size, size).copy()
+        # Deterministic per-frame randomness: shading and sensor noise depend
+        # only on (seed, frame_index), so renders are reproducible.
+        rng = np.random.default_rng((config.seed, ground_truth.frame_index))
+        # Draw in order of the object's vertical position so nearer (lower)
+        # objects occlude farther ones, a crude but consistent depth ordering.
+        ordered = sorted(ground_truth.objects, key=lambda s: s.box.y_max)
+        for state in ordered:
+            self._draw_object(canvas, state, scale_x, scale_y, rng)
+        if config.pixel_noise > 0:
+            canvas = canvas + rng.normal(0.0, config.pixel_noise, size=canvas.shape)
+        return np.clip(canvas, 0, 255).astype(np.uint8)

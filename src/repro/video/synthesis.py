@@ -1,0 +1,124 @@
+"""Dataset profiles: the knobs that make a synthetic stream look like Coral / Jackson / Detrac.
+
+A :class:`DatasetProfile` captures everything the paper reports about a video
+dataset in Table II — which object classes appear, their relative frequency,
+and the mean / standard deviation of the number of objects per frame — plus
+the behavioural knobs (motion style, arrival burstiness) needed to make the
+synthetic stream a plausible stand-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class ClassMixEntry:
+    """One object class participating in a dataset.
+
+    ``frequency`` is the relative share of object instances belonging to this
+    class (Table II reports e.g. car 92% / bus 6% / truck 2% for Detrac).
+    ``motion`` selects the behaviour of spawned objects:
+
+    * ``"traffic"`` — drive across the frame in a lane;
+    * ``"walk"``    — cross the frame slowly along a sidewalk band (pedestrians);
+    * ``"wander"``  — move smoothly around an anchor (fish, loitering people);
+    * ``"parked"``  — stay still for the whole lifetime.
+
+    ``parked_probability`` lets a traffic class occasionally produce a parked
+    instance (the aggregate-query scenario of a car parked next to a stop
+    sign).
+    """
+
+    class_name: str
+    frequency: float
+    motion: str = "traffic"
+    speed_range: tuple[float, float] = (1.5, 4.0)
+    parked_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.frequency <= 0:
+            raise ValueError(f"class frequency must be positive: {self.frequency}")
+        if self.motion not in ("traffic", "walk", "wander", "parked"):
+            raise ValueError(f"unknown motion style: {self.motion!r}")
+        if not 0.0 <= self.parked_probability <= 1.0:
+            raise ValueError(
+                f"parked_probability must be in [0, 1]: {self.parked_probability}"
+            )
+
+
+@dataclass(frozen=True)
+class DatasetProfile:
+    """Statistical profile of a video dataset.
+
+    ``mean_objects_per_frame`` / ``std_objects_per_frame`` drive the per-frame
+    count process; ``count_autocorrelation`` controls how smoothly the count
+    evolves from frame to frame (real traffic changes slowly, so counts are
+    strongly autocorrelated).  ``paper_train_size`` / ``paper_test_size``
+    record the sizes reported in Table II; ``default_train_size`` /
+    ``default_test_size`` are the scaled-down sizes used by tests and
+    benchmarks so that the full pipeline runs in seconds on a laptop CPU.
+    """
+
+    name: str
+    description: str
+    classes: tuple[ClassMixEntry, ...]
+    mean_objects_per_frame: float
+    std_objects_per_frame: float
+    frame_width: int = 448
+    frame_height: int = 448
+    fps: int = 30
+    count_autocorrelation: float = 0.98
+    max_objects_per_frame: int = 60
+    background_color: tuple[int, int, int] = (90, 95, 100)
+    background_texture: float = 6.0
+    paper_train_size: int = 0
+    paper_test_size: int = 0
+    default_train_size: int = 1500
+    default_val_size: int = 300
+    default_test_size: int = 600
+
+    def __post_init__(self) -> None:
+        if not self.classes:
+            raise ValueError("a dataset profile needs at least one class")
+        if self.mean_objects_per_frame < 0 or self.std_objects_per_frame < 0:
+            raise ValueError("count statistics must be non-negative")
+        if not 0.0 <= self.count_autocorrelation < 1.0:
+            raise ValueError(
+                f"count_autocorrelation must be in [0, 1): {self.count_autocorrelation}"
+            )
+        if self.max_objects_per_frame <= 0:
+            raise ValueError("max_objects_per_frame must be positive")
+
+    @property
+    def class_names(self) -> tuple[str, ...]:
+        return tuple(entry.class_name for entry in self.classes)
+
+    @property
+    def class_frequencies(self) -> dict[str, float]:
+        """Class mix normalised to sum to 1."""
+        total = sum(entry.frequency for entry in self.classes)
+        return {entry.class_name: entry.frequency / total for entry in self.classes}
+
+    def entry_for(self, class_name: str) -> ClassMixEntry:
+        for entry in self.classes:
+            if entry.class_name == class_name:
+                return entry
+        raise KeyError(f"class {class_name!r} not part of profile {self.name!r}")
+
+    def scaled(
+        self,
+        train_size: int | None = None,
+        val_size: int | None = None,
+        test_size: int | None = None,
+    ) -> "DatasetProfile":
+        """A copy of the profile with different default split sizes."""
+        from dataclasses import replace
+
+        return replace(
+            self,
+            default_train_size=train_size if train_size is not None else self.default_train_size,
+            default_val_size=val_size if val_size is not None else self.default_val_size,
+            default_test_size=test_size if test_size is not None else self.default_test_size,
+        )

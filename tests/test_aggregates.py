@@ -1,0 +1,158 @@
+"""Tests for sampling estimation, control variates and aggregate monitoring."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.aggregates import (
+    AggregateMonitor,
+    AggregateQuerySpec,
+    HoppingWindow,
+    SlidingWindow,
+    WindowBounds,
+    class_count_control,
+    control_variate_estimate,
+    multiple_control_variates_estimate,
+    optimal_beta,
+    per_predicate_controls,
+    query_indicator_control,
+    sample_frame_indices,
+    sample_mean_estimate,
+)
+from repro.detection import ReferenceDetector
+from repro.query import QueryBuilder
+
+
+def test_sample_mean_estimate_basics():
+    estimate = sample_mean_estimate([1.0, 2.0, 3.0, 4.0])
+    assert estimate.mean == pytest.approx(2.5)
+    assert estimate.num_samples == 4
+    low, high = estimate.confidence_interval
+    assert low < 2.5 < high
+    assert estimate.half_width == pytest.approx((high - low) / 2)
+    with pytest.raises(ValueError):
+        sample_mean_estimate([])
+    with pytest.raises(ValueError):
+        sample_mean_estimate([1.0], confidence_level=1.5)
+
+
+def test_sample_frame_indices(rng):
+    indices = sample_frame_indices(100, 20, rng)
+    assert len(indices) == 20
+    assert len(set(indices.tolist())) == 20
+    assert sample_frame_indices(5, 10, rng).shape == (5,)  # capped without replacement
+    with pytest.raises(ValueError):
+        sample_frame_indices(0, 5, rng)
+
+
+def test_control_variates_reduce_variance_on_correlated_data(rng):
+    # Y = X + small noise: the CV estimator should nearly eliminate variance.
+    x = rng.normal(10.0, 2.0, size=400)
+    y = x + rng.normal(0.0, 0.2, size=400)
+    estimate = control_variate_estimate(y, x, control_mean=10.0)
+    assert estimate.variance < estimate.plain_variance / 10
+    assert estimate.variance_reduction > 10
+    assert estimate.correlation > 0.95
+    assert abs(estimate.beta[0] - 1.0) < 0.1
+    # With an uncorrelated control there is no benefit.
+    unrelated = rng.normal(size=400)
+    weak = control_variate_estimate(y, unrelated)
+    assert weak.variance_reduction < 2.0
+
+
+def test_control_variate_estimator_is_consistent(rng):
+    # The CV-corrected mean stays close to the true mean.
+    true_mean = 5.0
+    x = rng.normal(2.0, 1.0, size=800)
+    y = true_mean + 2.0 * (x - 2.0) + rng.normal(0.0, 0.5, size=800)
+    estimate = control_variate_estimate(y, x, control_mean=2.0)
+    assert estimate.mean == pytest.approx(true_mean, abs=0.2)
+    assert optimal_beta(y, x) == pytest.approx(2.0, abs=0.2)
+
+
+def test_multiple_control_variates(rng):
+    z1 = rng.normal(size=500)
+    z2 = rng.normal(size=500)
+    y = 1.0 + 2.0 * z1 - 1.5 * z2 + rng.normal(0.0, 0.3, size=500)
+    controls = np.stack([z1, z2], axis=1)
+    estimate = multiple_control_variates_estimate(y, controls, control_means=[0.0, 0.0])
+    assert estimate.mean == pytest.approx(1.0, abs=0.15)
+    assert estimate.beta[0] == pytest.approx(2.0, abs=0.2)
+    assert estimate.beta[1] == pytest.approx(-1.5, abs=0.2)
+    assert estimate.variance_reduction > 5
+    assert 0.9 <= estimate.correlation <= 1.0
+    with pytest.raises(ValueError):
+        multiple_control_variates_estimate(y[:3], controls[:3])
+    with pytest.raises(ValueError):
+        multiple_control_variates_estimate(y, controls, control_means=[0.0])
+
+
+@settings(max_examples=25)
+@given(st.lists(st.floats(-5, 5), min_size=5, max_size=40))
+def test_cv_with_identical_control_matches_plain_mean(values):
+    y = np.array(values)
+    estimate = control_variate_estimate(y, y.copy())
+    # Using Y itself as the control with mu set to the sample mean leaves the
+    # mean unchanged and the estimator remains finite.
+    assert estimate.mean == pytest.approx(estimate.plain_mean)
+    assert estimate.variance >= 0.0
+
+
+def test_windows():
+    hopping = HoppingWindow(size=10, advance=5)
+    windows = list(hopping.windows_over(23))
+    assert windows[0] == WindowBounds(0, 10)
+    assert windows[1] == WindowBounds(5, 15)
+    assert all(w.size == 10 for w in windows)
+    partial = list(hopping.windows_over(23, include_partial=True))
+    assert partial[-1].size < 10
+    sliding = list(SlidingWindow(size=5).windows_over(8))
+    assert len(sliding) == 4
+    assert WindowBounds(2, 6).contains(3)
+    assert not WindowBounds(2, 6).contains(6)
+    with pytest.raises(ValueError):
+        HoppingWindow(size=0, advance=5)
+    with pytest.raises(ValueError):
+        WindowBounds(5, 5)
+
+
+def test_aggregate_monitor_end_to_end(trained_od_filter, tiny_jackson):
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=13)
+    monitor = AggregateMonitor(detector=detector, frame_filter=trained_od_filter, seed=5)
+    query = QueryBuilder("cars_present").count("car").at_least(1).build()
+    spec = AggregateQuerySpec.from_query(query, [query_indicator_control(query)])
+    report = monitor.estimate(spec, tiny_jackson.test, sample_size=25)
+    assert report.num_samples == 25
+    assert 0.0 <= report.plain.mean <= 1.0
+    # Per-sample cost = detector + one filter pass under the paper's latency model.
+    assert report.per_frame_cost_ms == pytest.approx(200.0 + trained_od_filter.latency_ms, rel=0.01)
+    assert report.cost_overhead_ms == pytest.approx(trained_od_filter.latency_ms, rel=0.05)
+    assert report.variance_reduction >= 0.5
+    row = report.as_row()
+    assert row["query"] == "cars_present"
+    # Multiple controls path.
+    multi_query = (
+        QueryBuilder("multi").count("car").at_least(1).count("person").at_least(1).build()
+    )
+    multi_spec = AggregateQuerySpec.from_query(
+        multi_query, per_predicate_controls(multi_query)
+    )
+    multi_report = monitor.estimate(multi_spec, tiny_jackson.test, sample_size=25)
+    assert len(multi_report.control_variate.beta) == 2
+    # Repeated estimation returns independent reports.
+    repeats = monitor.estimate_repeated(spec, tiny_jackson.test, sample_size=10, repetitions=3)
+    assert len(repeats) == 3
+    with pytest.raises(ValueError):
+        monitor.estimate_repeated(spec, tiny_jackson.test, sample_size=10, repetitions=0)
+    with pytest.raises(ValueError):
+        AggregateQuerySpec(name="bad", exact_value=lambda d: 0.0, control_values=[])
+
+
+def test_class_count_control(trained_od_filter, tiny_jackson):
+    prediction = trained_od_filter.predict(tiny_jackson.test.frame(0))
+    total_control = class_count_control(None)
+    car_control = class_count_control("car")
+    assert total_control(prediction) == float(prediction.total_count)
+    assert car_control(prediction) == float(prediction.count_of("car"))

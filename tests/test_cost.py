@@ -1,0 +1,52 @@
+"""Tests for the latency model and simulated clock."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost import (
+    IC_BRANCH_MS,
+    MASK_RCNN_MS,
+    OD_BRANCH_MS,
+    YOLO_FULL_MS,
+    CostBreakdown,
+    SimulatedClock,
+)
+
+
+def test_paper_latency_constants_ordering():
+    # The whole point of the filters: branches are orders of magnitude cheaper
+    # than the detectors they guard.
+    assert IC_BRANCH_MS < OD_BRANCH_MS < YOLO_FULL_MS < MASK_RCNN_MS
+    assert MASK_RCNN_MS / OD_BRANCH_MS > 100
+
+
+def test_clock_accumulates_by_component():
+    clock = SimulatedClock()
+    clock.charge("filter", 1.5)
+    clock.charge("filter", 1.5)
+    clock.charge("detector", 200.0)
+    assert clock.elapsed_ms == pytest.approx(203.0)
+    assert clock.elapsed_seconds == pytest.approx(0.203)
+    assert clock.breakdown.per_component_calls == {"filter": 2, "detector": 1}
+    clock.reset()
+    assert clock.elapsed_ms == 0.0
+
+
+def test_clock_rejects_negative_charges():
+    clock = SimulatedClock()
+    with pytest.raises(ValueError):
+        clock.charge("x", -1.0)
+    with pytest.raises(ValueError):
+        clock.charge("x", 1.0, calls=-1)
+
+
+def test_cost_breakdown_merge():
+    a = CostBreakdown(per_component_ms={"f": 10.0}, per_component_calls={"f": 2})
+    b = CostBreakdown(per_component_ms={"f": 5.0, "d": 200.0}, per_component_calls={"f": 1, "d": 1})
+    merged = a.merged_with(b)
+    assert merged.per_component_ms == {"f": 15.0, "d": 200.0}
+    assert merged.per_component_calls == {"f": 3, "d": 1}
+    assert merged.total_ms == pytest.approx(215.0)
+    # merge does not mutate the originals
+    assert a.per_component_ms == {"f": 10.0}

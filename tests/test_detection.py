@@ -1,0 +1,157 @@
+"""Tests for the detector simulators, feature backbone and annotation pipeline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost import MASK_RCNN_MS, SimulatedClock, YOLO_FULL_MS
+from repro.detection import (
+    DetectorErrorModel,
+    FastDetector,
+    ReferenceDetector,
+    annotate_stream,
+    classification_backbone,
+    detection_backbone,
+)
+from repro.detection.annotation import annotate_frame
+from repro.detection.base import Detection, FrameDetections
+from repro.spatial.geometry import Box
+
+
+def test_detection_validation():
+    with pytest.raises(ValueError):
+        Detection(class_name="car", box=Box(0, 0, 1, 1), score=1.5)
+
+
+def test_frame_detections_counts_and_masks(tiny_jackson):
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=1)
+    frame = tiny_jackson.test.frame(5)
+    detections = detector.detect(frame)
+    assert detections.count == len(detections.detections)
+    counts = detections.counts_by_class()
+    assert sum(counts.values()) == detections.count
+    grid = tiny_jackson.grid(28)
+    for name in tiny_jackson.class_names:
+        mask = detections.location_mask(grid, name)
+        assert (mask.count > 0) == (detections.count_of(name) > 0)
+    filtered = detections.filtered(min_score=0.99)
+    assert filtered.count <= detections.count
+
+
+def test_reference_detector_matches_ground_truth_closely(tiny_jackson):
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=1)
+    total_error = 0
+    frames = 0
+    for index in range(0, 40, 4):
+        frame = tiny_jackson.test.frame(index)
+        detections = detector.detect(frame)
+        total_error += abs(detections.count - frame.ground_truth.count)
+        frames += 1
+    assert total_error / frames < 0.5  # near-perfect, as Mask R-CNN effectively is
+
+
+def test_detector_is_deterministic_per_frame(tiny_jackson):
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=1)
+    frame = tiny_jackson.test.frame(7)
+    a = detector.detect(frame)
+    b = detector.detect(frame)
+    assert a.counts_by_class() == b.counts_by_class()
+
+
+def test_detector_charges_latency(tiny_jackson):
+    clock = SimulatedClock()
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, clock=clock)
+    detector.detect(tiny_jackson.test.frame(0))
+    assert clock.elapsed_ms == pytest.approx(MASK_RCNN_MS)
+    fast_clock = SimulatedClock()
+    fast = FastDetector(class_names=tiny_jackson.class_names, clock=fast_clock)
+    fast.detect(tiny_jackson.test.frame(0))
+    assert fast_clock.elapsed_ms == pytest.approx(YOLO_FULL_MS)
+
+
+def test_fast_detector_is_noisier_than_reference(tiny_detrac):
+    reference = ReferenceDetector(class_names=tiny_detrac.class_names, seed=2)
+    fast = FastDetector(class_names=tiny_detrac.class_names, seed=2)
+    reference_error = 0
+    fast_error = 0
+    for index in range(0, 40, 4):
+        frame = tiny_detrac.test.frame(index)
+        truth = frame.ground_truth.count
+        reference_error += abs(reference.detect(frame).count - truth)
+        fast_error += abs(fast.detect(frame).count - truth)
+    assert fast_error >= reference_error
+
+
+def test_error_model_validation():
+    with pytest.raises(ValueError):
+        DetectorErrorModel(miss_rate=1.5)
+    with pytest.raises(ValueError):
+        DetectorErrorModel(box_jitter=-0.1)
+
+
+def test_backbone_feature_shapes(tiny_jackson):
+    for backbone in (detection_backbone(56), classification_backbone(56)):
+        backbone.fit_background(tiny_jackson.train.iter_range(0, 20, 2))
+        features = backbone.extract_frame(tiny_jackson.test.frame(0))
+        assert features.shape == (56, 56, backbone.num_features)
+        assert np.isfinite(features).all()
+    with pytest.raises(ValueError):
+        detection_backbone(56).extract(np.zeros((112, 112)))
+
+
+def test_backbone_background_subtraction_highlights_objects(tiny_jackson):
+    backbone = detection_backbone(56)
+    backbone.fit_background(tiny_jackson.train.iter_range(0, 30, 2))
+    # Find a frame with at least one object and check the background-difference
+    # channel is stronger on object cells than off them.
+    for index in range(len(tiny_jackson.test)):
+        frame = tiny_jackson.test.frame(index)
+        if frame.ground_truth.count > 0:
+            break
+    features = backbone.extract_frame(frame)
+    diff = features[:, :, 5]
+    grid = tiny_jackson.grid(56)
+    object_mask = np.zeros((56, 56), dtype=bool)
+    for state in frame.ground_truth.objects:
+        for row, col in grid.cells_overlapping_box(state.box):
+            object_mask[row, col] = True
+    assert diff[object_mask].mean() > diff[~object_mask].mean() * 2
+
+
+def test_annotation_pipeline(tiny_jackson):
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=9)
+    grid = tiny_jackson.grid(56)
+    annotations = annotate_stream(
+        tiny_jackson.train, detector, tiny_jackson.class_names, grid, frame_indices=range(0, 20, 2)
+    )
+    assert len(annotations) == 10
+    matrix = annotations.counts_matrix()
+    assert matrix.shape == (10, len(tiny_jackson.class_names))
+    totals = annotations.total_counts()
+    np.testing.assert_allclose(totals, matrix.sum(axis=1))
+    tensor = annotations.location_tensor("car")
+    assert tensor.shape == (10, 56, 56)
+    frequencies = annotations.class_frequencies()
+    assert all(0.0 <= value <= 1.0 for value in frequencies.values())
+    # Counts and grids are consistent per frame.
+    for annotated in annotations:
+        for name in tiny_jackson.class_names:
+            if annotated.count_of(name) == 0:
+                assert annotated.grid_of(name).sum() == 0
+
+
+def test_annotate_frame_unknown_class():
+    detections = FrameDetections(
+        frame_index=0,
+        detections=(Detection("car", Box(0, 0, 10, 10), 0.9),),
+        latency_ms=1.0,
+        detector_name="test",
+    )
+    from repro.spatial.grid import Grid
+
+    grid = Grid(rows=8, cols=8, frame_width=80, frame_height=80)
+    annotated = annotate_frame(detections, ["car", "bus"], grid)
+    assert annotated.count_of("car") == 1
+    assert annotated.count_of("bus") == 0
+    assert annotated.grid_of("bus").sum() == 0

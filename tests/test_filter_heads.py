@@ -1,0 +1,153 @@
+"""Tests for the estimation heads (ridge accumulator, grid scorer, count calibration)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.filters.heads import (
+    COUNT_FEATURE_NAMES,
+    CountCalibration,
+    GridScoringHead,
+    PooledCountHead,
+    RidgeAccumulator,
+    count_features,
+    suppress_cross_class,
+    thresholded_sum,
+)
+
+
+def test_ridge_accumulator_recovers_linear_model(rng):
+    true_weights = np.array([[2.0], [-1.0], [0.5]])
+    x = rng.normal(size=(200, 3))
+    y = x @ true_weights + 3.0
+    accumulator = RidgeAccumulator(num_features=3, num_outputs=1, alpha=1e-8)
+    for start in range(0, 200, 50):
+        accumulator.add_batch(x[start : start + 50], y[start : start + 50])
+    weights, bias = accumulator.solve()
+    np.testing.assert_allclose(weights, true_weights, atol=1e-6)
+    assert bias[0] == pytest.approx(3.0, abs=1e-6)
+    assert accumulator.num_samples == 200
+
+
+def test_ridge_accumulator_sample_weights(rng):
+    # Heavily weighting a subset makes the fit follow that subset.
+    x = np.concatenate([np.full((50, 1), 1.0), np.full((50, 1), 2.0)])
+    y = np.concatenate([np.full(50, 10.0), np.full(50, 0.0)])
+    unweighted = RidgeAccumulator(num_features=1, alpha=1e-9)
+    unweighted.add_batch(x, y)
+    weighted = RidgeAccumulator(num_features=1, alpha=1e-9)
+    weights = np.concatenate([np.full(50, 100.0), np.full(50, 1.0)])
+    weighted.add_batch(x, y, weights)
+    _, bias_unweighted = unweighted.solve()
+    w_weighted, bias_weighted = weighted.solve()
+    pred_at_1_unweighted = 1.0 * unweighted.solve()[0][0, 0] + bias_unweighted[0]
+    pred_at_1_weighted = 1.0 * w_weighted[0, 0] + bias_weighted[0]
+    assert abs(pred_at_1_weighted - 10.0) < abs(pred_at_1_unweighted - 10.0)
+    with pytest.raises(ValueError):
+        weighted.add_batch(x, y, np.full(10, 1.0))
+    with pytest.raises(ValueError):
+        weighted.add_batch(x, y, -weights)
+
+
+def test_ridge_accumulator_validation():
+    accumulator = RidgeAccumulator(num_features=2)
+    with pytest.raises(RuntimeError):
+        accumulator.solve()
+    with pytest.raises(ValueError):
+        accumulator.add_batch(np.zeros((3, 5)), np.zeros(3))
+    with pytest.raises(ValueError):
+        RidgeAccumulator(num_features=0)
+
+
+def test_grid_scoring_head_shapes_and_clipping():
+    head = GridScoringHead(
+        class_names=("car", "bus"),
+        weights=np.array([[10.0, 0.0], [0.0, -10.0]]),
+        bias=np.array([0.0, 0.5]),
+    )
+    features = np.zeros((4, 4, 2))
+    features[0, 0, 0] = 1.0  # strong car feature
+    features[1, 1, 1] = 1.0  # strong anti-bus feature
+    scores = head.score(features)
+    assert set(scores) == {"car", "bus"}
+    assert scores["car"].shape == (4, 4)
+    assert scores["car"][0, 0] == 1.0  # clipped to [0, 1]
+    assert scores["bus"][1, 1] == 0.0
+    with pytest.raises(ValueError):
+        head.score(np.zeros((4, 4, 3)))
+    with pytest.raises(ValueError):
+        GridScoringHead(class_names=("car",), weights=np.zeros((2, 3)), bias=np.zeros(2))
+
+
+def test_thresholded_sum_and_count_features():
+    scores = np.zeros((8, 8))
+    scores[0, 0] = 0.9
+    scores[0, 1] = 0.8
+    scores[5, 5] = 0.7
+    scores[7, 7] = 0.1  # below threshold
+    assert thresholded_sum(scores, 0.2) == pytest.approx(2.4)
+    features = count_features(scores, 0.2)
+    assert features.shape == (len(COUNT_FEATURE_NAMES),)
+    assert features[0] == pytest.approx(2.4)  # score mass
+    assert features[1] == 3  # occupied cells
+    assert features[2] == 2  # two connected blobs
+    assert np.all(count_features(np.zeros((4, 4)), 0.2) == 0)
+
+
+def test_suppress_cross_class():
+    car = np.array([[0.9, 0.1], [0.3, 0.0]])
+    bus = np.array([[0.4, 0.3], [0.6, 0.0]])
+    suppressed = suppress_cross_class({"car": car, "bus": bus}, threshold=0.2)
+    # Cell (0,0): car wins, bus zeroed; cell (1,0): bus wins, car zeroed.
+    assert suppressed["car"][0, 0] == pytest.approx(0.9)
+    assert suppressed["bus"][0, 0] == 0.0
+    assert suppressed["car"][1, 0] == 0.0
+    assert suppressed["bus"][1, 0] == pytest.approx(0.6)
+    # Cell (0,1): max (bus, 0.3) is above threshold, so car (0.1) is zeroed.
+    assert suppressed["car"][0, 1] == 0.0
+    assert suppress_cross_class({}, 0.2) == {}
+
+
+def test_count_calibration_fit_and_estimate():
+    class_names = ("car", "bus")
+    rng = np.random.default_rng(0)
+    features = rng.uniform(0, 10, size=(100, 2, len(COUNT_FEATURE_NAMES)))
+    true_counts = features[:, :, 2] * 1.0 + 0.5  # counts follow blob count
+    calibration = CountCalibration.fit(class_names, features, true_counts)
+    raw, rounded = calibration.estimate(
+        {"car": features[0, 0], "bus": features[0, 1]}
+    )
+    assert raw["car"] == pytest.approx(true_counts[0, 0], abs=0.2)
+    assert rounded["car"] == round(raw["car"])
+    # A degenerate class (never appears) falls back to its mean.
+    features[:, 1, :] = 0.0
+    zero_counts = true_counts.copy()
+    zero_counts[:, 1] = 0.0
+    calibration = CountCalibration.fit(class_names, features, zero_counts)
+    raw, rounded = calibration.estimate({"car": features[0, 0], "bus": np.zeros(3)})
+    assert rounded["bus"] == 0
+    with pytest.raises(ValueError):
+        CountCalibration.fit(class_names, features[:, :1, :], true_counts)
+
+
+def test_pooled_count_head():
+    head = PooledCountHead(weights=np.array([2.0, 0.0]), bias=1.0)
+    assert head.estimate(np.array([3.0, 100.0])) == pytest.approx(7.0)
+    assert head.estimate(np.array([-10.0, 0.0])) == 0.0  # clamped at zero
+    with pytest.raises(ValueError):
+        head.estimate(np.zeros(3))
+
+
+@settings(max_examples=25)
+@given(
+    st.lists(st.floats(0, 1), min_size=16, max_size=16),
+    st.floats(0.05, 0.9),
+)
+def test_count_features_invariants(values, threshold):
+    scores = np.array(values).reshape(4, 4)
+    mass, cells, blobs = count_features(scores, threshold)
+    assert 0 <= blobs <= cells <= 16
+    assert mass <= scores.sum() + 1e-9
+    assert mass >= threshold * cells - 1e-9 or cells == 0

@@ -1,0 +1,136 @@
+"""Integration tests: filter training, prediction and evaluation metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cost import IC_BRANCH_MS, OD_BRANCH_MS, SimulatedClock
+from repro.filters import (
+    calibrate_threshold,
+    count_accuracy,
+    evaluate_count_filter,
+    evaluate_localization,
+    localization_f1,
+)
+from repro.filters.base import CountTolerance
+from repro.filters.metrics import localization_counts
+from repro.spatial.grid import Grid, GridMask
+
+
+def test_count_accuracy_metric():
+    predicted = [1, 2, 3, 5]
+    actual = [1, 3, 3, 9]
+    assert count_accuracy(predicted, actual, 0) == pytest.approx(0.5)
+    assert count_accuracy(predicted, actual, 1) == pytest.approx(0.75)
+    assert count_accuracy(predicted, actual, 4) == pytest.approx(1.0)
+    assert count_accuracy([], [], 0) == 0.0
+    with pytest.raises(ValueError):
+        count_accuracy([1], [1, 2], 0)
+    with pytest.raises(ValueError):
+        count_accuracy([1], [1], -1)
+
+
+def test_localization_f1_metric():
+    grid = Grid(rows=6, cols=6, frame_width=60, frame_height=60)
+    truth = np.zeros((6, 6), dtype=bool)
+    truth[2, 2] = True
+    predicted_exact = GridMask(grid=grid, values=truth.copy())
+    assert localization_f1(predicted_exact, GridMask(grid=grid, values=truth)) == 1.0
+    shifted = np.zeros((6, 6), dtype=bool)
+    shifted[2, 3] = True
+    predicted_shifted = GridMask(grid=grid, values=shifted)
+    assert localization_f1(predicted_shifted, GridMask(grid=grid, values=truth), 0) == 0.0
+    assert localization_f1(predicted_shifted, GridMask(grid=grid, values=truth), 1) == 1.0
+    # Both empty counts as perfect.
+    empty = grid.empty_mask()
+    assert localization_f1(empty, empty) == 1.0
+    tp, fp, fn = localization_counts(predicted_shifted, GridMask(grid=grid, values=truth), 0)
+    assert (tp, fp, fn) == (0, 1, 1)
+
+
+def test_trained_od_filter_predicts_reasonably(trained_od_filter, tiny_jackson, jackson_test_annotations):
+    report = evaluate_count_filter(
+        trained_od_filter, tiny_jackson.test, jackson_test_annotations
+    )
+    assert report.num_frames == len(jackson_test_annotations)
+    assert report.within_1 >= 0.7
+    assert 0.0 <= report.exact <= report.within_1 <= report.within_2 <= 1.0
+    localization = evaluate_localization(
+        trained_od_filter, tiny_jackson.test, jackson_test_annotations
+    )
+    assert localization.micro_f1_manhattan_1 >= localization.micro_f1
+
+
+def test_prediction_contents(trained_od_filter, tiny_jackson):
+    frame = tiny_jackson.test.frame(3)
+    prediction = trained_od_filter.predict(frame)
+    assert prediction.frame_index == 3
+    assert prediction.total_count == sum(prediction.class_counts.values())
+    assert set(prediction.location_scores) == set(tiny_jackson.class_names)
+    mask = prediction.location_mask("car")
+    assert mask.grid.shape == (56, 56)
+    dilated = prediction.location_mask("car", dilation=1)
+    assert dilated.count >= mask.count
+    assert prediction.location_mask("unknown-class").count == 0
+    # Tolerance helpers used by the query planner.
+    car_count = prediction.count_of("car")
+    assert prediction.count_matches("car", car_count, CountTolerance.EXACT)
+    assert prediction.count_matches("car", car_count + 1, CountTolerance.WITHIN_1)
+    assert prediction.count_at_least("car", car_count, CountTolerance.EXACT)
+
+
+def test_filters_charge_their_latency(trained_od_filter, trained_ic_filter, tiny_jackson):
+    clock = SimulatedClock()
+    trained_od_filter.clock = clock
+    trained_ic_filter.clock = clock
+    try:
+        trained_od_filter.predict(tiny_jackson.test.frame(0))
+        trained_ic_filter.predict(tiny_jackson.test.frame(0))
+    finally:
+        trained_od_filter.clock = None
+        trained_ic_filter.clock = None
+    assert clock.elapsed_ms == pytest.approx(OD_BRANCH_MS + IC_BRANCH_MS)
+
+
+def test_od_cof_reports_total_count_only(trained_od_cof, tiny_jackson, jackson_test_annotations):
+    prediction = trained_od_cof.predict(tiny_jackson.test.frame(0))
+    assert list(prediction.class_counts) == ["object"]
+    assert prediction.location_scores == {}
+    report = evaluate_count_filter(
+        trained_od_cof, tiny_jackson.test, jackson_test_annotations, total_only=True
+    )
+    assert report.within_2 >= 0.6
+
+
+def test_ic_and_od_filters_share_interface(trained_ic_filter, trained_od_filter, tiny_jackson):
+    frame = tiny_jackson.test.frame(10)
+    for frame_filter in (trained_ic_filter, trained_od_filter):
+        prediction = frame_filter.predict(frame)
+        assert prediction.filter_name == frame_filter.name
+        assert prediction.latency_ms == frame_filter.latency_ms
+    assert trained_ic_filter.family == "IC"
+    assert trained_od_filter.family == "OD"
+
+
+def test_threshold_calibration(trained_od_filter, tiny_jackson, jackson_test_annotations):
+    calibration = calibrate_threshold(
+        trained_od_filter,
+        tiny_jackson.test,
+        jackson_test_annotations,
+        thresholds=(0.1, 0.2, 0.4),
+    )
+    assert calibration.best_threshold in (0.1, 0.2, 0.4)
+    assert len(calibration.as_rows()) == 3
+    assert max(calibration.micro_f1) == calibration.best_f1
+    with pytest.raises(ValueError):
+        calibrate_threshold(
+            trained_od_filter, tiny_jackson.test, jackson_test_annotations, thresholds=()
+        )
+
+
+def test_trainer_annotations_are_cached(jackson_trainer):
+    first = jackson_trainer.annotations()
+    second = jackson_trainer.annotations()
+    assert first is second
+    assert len(first) > 0

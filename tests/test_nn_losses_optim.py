@@ -1,0 +1,138 @@
+"""Tests for losses, optimisers and network containers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    Adam,
+    Dense,
+    GlobalAveragePooling2D,
+    MSELoss,
+    MultiHeadNetwork,
+    ReLU,
+    SGD,
+    Sequential,
+    SmoothL1Loss,
+    SoftmaxCrossEntropy,
+    Conv2D,
+)
+
+
+def test_mse_loss_value_and_gradient():
+    loss = MSELoss()
+    pred = np.array([[1.0, 2.0], [3.0, 4.0]])
+    target = np.array([[1.0, 0.0], [3.0, 8.0]])
+    value = loss.forward(pred, target)
+    assert value == pytest.approx((0 + 4 + 0 + 16) / 4)
+    grad = loss.backward()
+    assert grad.shape == pred.shape
+    assert grad[0, 1] == pytest.approx(2 * 2 / 4)
+    with pytest.raises(ValueError):
+        loss.forward(pred, target[:1])
+
+
+def test_smooth_l1_is_quadratic_then_linear():
+    loss = SmoothL1Loss(beta=1.0)
+    small = loss.forward(np.array([0.5]), np.array([0.0]))
+    assert small == pytest.approx(0.125)
+    large = loss.forward(np.array([3.0]), np.array([0.0]))
+    assert large == pytest.approx(2.5)
+    grad = loss.backward()
+    assert grad[0] == pytest.approx(1.0)  # sign(diff) / n
+    with pytest.raises(ValueError):
+        SmoothL1Loss(beta=0.0)
+
+
+def test_softmax_cross_entropy():
+    loss = SoftmaxCrossEntropy()
+    logits = np.array([[10.0, 0.0, 0.0], [0.0, 10.0, 0.0]])
+    targets = np.array([0, 1])
+    assert loss.forward(logits, targets) < 1e-3
+    wrong = loss.forward(logits, np.array([1, 0]))
+    assert wrong > 5.0
+    grad = loss.backward()
+    assert grad.shape == logits.shape
+    with pytest.raises(ValueError):
+        loss.forward(logits, np.array([[0], [1]]))
+
+
+def test_sgd_and_adam_reduce_loss_on_regression():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(64, 5))
+    true_w = rng.normal(size=(5, 1))
+    y = x @ true_w
+
+    for optimizer in (SGD(learning_rate=0.05, momentum=0.9, weight_decay=0.0),
+                      Adam(learning_rate=0.05)):
+        layer = Dense(5, 1, seed=1)
+        loss = MSELoss()
+        first = None
+        for _ in range(200):
+            pred = layer.forward(x)
+            value = loss.forward(pred, y)
+            if first is None:
+                first = value
+            layer.zero_grad()
+            layer.backward(loss.backward())
+            optimizer.step([(layer.params(), layer.grads())])
+        assert value < first * 0.05
+
+
+def test_learning_rate_decay():
+    optimizer = Adam(learning_rate=1e-2, lr_decay=0.1)
+    assert optimizer.learning_rate == pytest.approx(1e-2)
+    optimizer.step([])
+    optimizer.step([])
+    assert optimizer.learning_rate < 1e-2
+    with pytest.raises(ValueError):
+        SGD(learning_rate=-1)
+    with pytest.raises(ValueError):
+        SGD(momentum=1.5)
+
+
+def test_multihead_network_roundtrip(tmp_path):
+    trunk = Sequential([Conv2D(1, 2, kernel_size=3, padding=1, seed=0), ReLU()])
+    heads = {
+        "counts": Sequential([GlobalAveragePooling2D(), Dense(2, 3, seed=1)]),
+        "grid": Sequential([Conv2D(2, 1, kernel_size=1, seed=2)]),
+    }
+    network = MultiHeadNetwork(trunk=trunk, heads=heads)
+    x = np.random.default_rng(1).normal(size=(2, 1, 4, 4))
+    outputs = network.forward(x)
+    assert outputs["counts"].shape == (2, 3)
+    assert outputs["grid"].shape == (2, 1, 4, 4)
+    grad = network.backward({"counts": np.ones((2, 3)), "grid": np.ones((2, 1, 4, 4))})
+    assert grad.shape == x.shape
+    with pytest.raises(KeyError):
+        network.backward({"unknown": np.ones((2, 3))})
+
+    # Save / load round trip preserves outputs.
+    path = tmp_path / "weights.npz"
+    network.save(path)
+    network2 = MultiHeadNetwork(
+        trunk=Sequential([Conv2D(1, 2, kernel_size=3, padding=1, seed=9), ReLU()]),
+        heads={
+            "counts": Sequential([GlobalAveragePooling2D(), Dense(2, 3, seed=8)]),
+            "grid": Sequential([Conv2D(2, 1, kernel_size=1, seed=7)]),
+        },
+    )
+    network2.load(path)
+    outputs2 = network2.forward(x)
+    np.testing.assert_allclose(outputs["counts"], outputs2["counts"])
+    np.testing.assert_allclose(outputs["grid"], outputs2["grid"])
+
+    # Freezing the trunk excludes its parameters from the optimiser groups.
+    assert len(network.parameter_groups(include_trunk=False)) < len(network.parameter_groups())
+
+
+def test_sequential_state_dict_validation():
+    net = Sequential([Dense(3, 2, seed=0)])
+    state = net.state_dict()
+    bad = dict(state)
+    bad["layer0.weight"] = np.zeros((5, 5))
+    with pytest.raises(ValueError):
+        net.load_state_dict(bad)
+    with pytest.raises(KeyError):
+        net.load_state_dict({})

@@ -1,0 +1,137 @@
+"""Tests for the query data model, builder and SQL-like parser."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.query import ParseError, QueryBuilder, parse_query
+from repro.query.ast import (
+    ColorPredicate,
+    ComparisonOperator,
+    CountPredicate,
+    Query,
+    RegionPredicate,
+    SpatialPredicate,
+    WindowSpec,
+)
+from repro.spatial.regions import Quadrant, quadrant_region
+from repro.spatial.relations import Direction
+
+
+def test_comparison_operator():
+    assert ComparisonOperator.EQUAL.compare(2, 2)
+    assert ComparisonOperator.AT_LEAST.compare(3, 2)
+    assert not ComparisonOperator.AT_MOST.compare(3, 2)
+
+
+def test_predicate_validation_and_description():
+    with pytest.raises(ValueError):
+        CountPredicate("car", ComparisonOperator.EQUAL, -1)
+    predicate = CountPredicate(None, ComparisonOperator.AT_LEAST, 3)
+    assert "objects" in predicate.describe()
+    spatial = SpatialPredicate("car", "bus", Direction.LEFT_OF)
+    assert "left_of" in spatial.describe()
+    region = RegionPredicate("person", quadrant_region(Quadrant.LOWER_LEFT, 100, 100))
+    assert "lower_left" in region.describe()
+    assert "red" in ColorPredicate("car", "red").describe()
+
+
+def test_query_introspection():
+    query = (
+        QueryBuilder("q")
+        .count("car").equals(1)
+        .count().at_least(2)
+        .spatial("car").left_of("bus")
+        .in_quadrant("person", Quadrant.LOWER_LEFT, 100, 100).at_least(1)
+        .color("car", "red")
+        .window(100, 50)
+        .build()
+    )
+    assert len(query.count_predicates) == 2
+    assert len(query.spatial_predicates) == 1
+    assert len(query.region_predicates) == 1
+    assert len(query.color_predicates) == 1
+    assert query.has_spatial_constraints
+    assert set(query.referenced_classes) == {"car", "bus", "person"}
+    assert query.window == WindowSpec(100, 50)
+    assert "q:" in query.describe()
+    with pytest.raises(ValueError):
+        Query(predicates=())
+    with pytest.raises(ValueError):
+        WindowSpec(0, 5)
+
+
+def test_builder_produces_expected_predicates():
+    query = QueryBuilder("b").count("car").at_most(3).spatial("bus").above("car").build()
+    count = query.count_predicates[0]
+    assert count.operator is ComparisonOperator.AT_MOST and count.value == 3
+    spatial = query.spatial_predicates[0]
+    assert spatial.subject_class == "bus"
+    assert spatial.direction is Direction.ABOVE
+
+
+def test_parse_paper_intro_query():
+    text = """
+    SELECT cameraID, frameID,
+        C1(F1(vehBox1)) AS vehType1,
+        C1(F1(vehBox2)) AS vehType2,
+        C2(F2(vehBox1)) AS vehColor
+    FROM (PROCESS inputVideo PRODUCE cameraID, frameID, vehBox1, vehBox2 USING VehDetector)
+    WHERE vehType1 = car AND vehColor = red AND vehType2 = truck
+        AND (ORDER(vehType1, vehType2) = RIGHT)
+    """
+    query = parse_query(text, name="intro")
+    classes = {p.class_name: p for p in query.count_predicates}
+    assert classes["car"].operator is ComparisonOperator.AT_LEAST
+    assert classes["truck"].value == 1
+    assert query.color_predicates[0] == ColorPredicate("car", "red")
+    spatial = query.spatial_predicates[0]
+    # ORDER(a, b) = RIGHT means the truck is at the right of the car.
+    assert spatial.subject_class == "car"
+    assert spatial.reference_class == "truck"
+    assert spatial.direction is Direction.LEFT_OF
+    assert query.aliases["vehType1"] == "car"
+
+
+def test_parse_window_and_shorthand_predicates():
+    text = """
+    SELECT cameraID, count(frameID)
+    FROM (PROCESS inputVideo PRODUCE cameraID, frameID, vehBox1 USING VehDetector)
+    WHERE COUNT(car) >= 2 AND COUNT(*) <= 10 AND INSIDE(person, LOWER_LEFT) >= 1
+        AND ORDER(car, bus) = LEFT
+    WINDOW HOPPING (SIZE 5000, ADVANCE BY 5000)
+    """
+    query = parse_query(text, frame_width=200, frame_height=200)
+    assert query.window == WindowSpec(5000, 5000)
+    counts = {p.class_name: p for p in query.count_predicates}
+    assert counts["car"].value == 2
+    assert counts[None].operator is ComparisonOperator.AT_MOST
+    region = query.region_predicates[0]
+    assert region.class_name == "person"
+    assert region.region.box.x_max == pytest.approx(100)
+    spatial = query.spatial_predicates[0]
+    assert spatial.direction is Direction.RIGHT_OF  # ORDER(...)=LEFT means car right of bus
+
+
+def test_parse_errors():
+    with pytest.raises(ParseError):
+        parse_query("")
+    with pytest.raises(ParseError):
+        parse_query("DELETE FROM video WHERE x = 1")
+    with pytest.raises(ParseError):
+        parse_query("SELECT a FROM (PROCESS v PRODUCE a USING d)")  # no WHERE
+    with pytest.raises(ParseError):
+        parse_query(
+            "SELECT a FROM (PROCESS v PRODUCE a USING d) WHERE something %% weird"
+        )
+    with pytest.raises(ParseError):
+        parse_query(
+            "SELECT C1(F1(b)) AS t FROM (PROCESS v PRODUCE b USING d) "
+            "WHERE INSIDE(car, MIDDLE) >= 1"
+        )
+    # Color constraint without a class constraint for the same box.
+    with pytest.raises(ParseError):
+        parse_query(
+            "SELECT C2(F2(box1)) AS vehColor FROM (PROCESS v PRODUCE box1 USING d) "
+            "WHERE vehColor = red"
+        )

@@ -1,0 +1,139 @@
+"""Integration tests for predicate evaluation, planning and streaming execution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.detection import ReferenceDetector
+from repro.detection.base import Detection, FrameDetections
+from repro.query import (
+    PlannerConfig,
+    QueryBuilder,
+    QueryPlanner,
+    StreamingQueryExecutor,
+    brute_force_execute,
+    evaluate_predicates_on_detections,
+)
+from repro.query.evaluation import evaluate_query_on_ground_truth
+from repro.query.planner import FilterCascade
+from repro.spatial.geometry import Box
+from repro.spatial.regions import Quadrant, quadrant_region
+
+
+def _detections(*specs) -> FrameDetections:
+    detections = tuple(
+        Detection(class_name=name, box=box, score=0.9, color_name=color)
+        for name, box, color in specs
+    )
+    return FrameDetections(
+        frame_index=0, detections=detections, latency_ms=0.0, detector_name="test"
+    )
+
+
+def test_evaluate_predicates_on_detections():
+    frame = _detections(
+        ("car", Box.from_center(30, 80, 20, 10), "blue"),
+        ("bus", Box.from_center(80, 80, 30, 15), "yellow"),
+        ("person", Box.from_center(20, 20, 5, 12), "red"),
+    )
+    satisfied = (
+        QueryBuilder("ok")
+        .count("car").equals(1)
+        .count("bus").at_least(1)
+        .spatial("car").left_of("bus")
+        .color("person", "red")
+        .in_quadrant("person", Quadrant.UPPER_LEFT, 100, 100).at_least(1)
+        .build()
+    )
+    assert evaluate_predicates_on_detections(satisfied, frame)
+    violated = QueryBuilder("no").spatial("bus").left_of("car").build()
+    assert not evaluate_predicates_on_detections(violated, frame)
+    wrong_color = QueryBuilder("no2").color("car", "red").build()
+    assert not evaluate_predicates_on_detections(wrong_color, frame)
+    not_enough = QueryBuilder("no3").count("person").equals(2).build()
+    assert not evaluate_predicates_on_detections(not_enough, frame)
+
+
+def test_evaluate_query_on_ground_truth(tiny_jackson):
+    query = QueryBuilder("any").count().at_least(0).build()
+    truth = tiny_jackson.test.ground_truth(0)
+    assert evaluate_query_on_ground_truth(query, truth)
+
+
+def test_planner_builds_expected_cascade(trained_od_filter, trained_ic_filter, trained_od_cof):
+    filters = {"od": trained_od_filter, "ic": trained_ic_filter, "od_cof": trained_od_cof}
+    query = (
+        QueryBuilder("q")
+        .count("car").equals(1)
+        .count().at_least(2)
+        .spatial("car").left_of("person")
+        .build()
+    )
+    cascade = QueryPlanner(filters, PlannerConfig(count_tolerance=1, location_dilation=2)).plan(query)
+    names = [step.name for step in cascade]
+    assert names == ["OD-CCF-1", "OD-COF-1", "OD-CLF-2"]
+    assert len(cascade.filters) == 2  # OD filter shared by CCF and CLF steps
+    # IC-preferring configuration uses the IC filter.
+    ic_cascade = QueryPlanner(filters, PlannerConfig(family="ic")).plan(query)
+    assert ic_cascade.steps[0].name.startswith("IC-")
+    # Disabling both filter kinds yields an empty cascade.
+    empty = QueryPlanner(filters, PlannerConfig(use_count_filter=False, use_location_filter=False)).plan(query)
+    assert len(empty) == 0
+    assert empty.describe() == "(empty)"
+    with pytest.raises(ValueError):
+        QueryPlanner({}, PlannerConfig())
+    with pytest.raises(ValueError):
+        PlannerConfig(count_tolerance=-1)
+    with pytest.raises(ValueError):
+        PlannerConfig(family="yolo")
+
+
+def test_filtered_execution_matches_brute_force(trained_od_filter, trained_ic_filter, trained_od_cof, tiny_jackson):
+    filters = {"od": trained_od_filter, "ic": trained_ic_filter, "od_cof": trained_od_cof}
+    query = QueryBuilder("cars").count("car").at_least(1).build()
+    cascade = QueryPlanner(filters, PlannerConfig(count_tolerance=1)).plan(query)
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=77)
+    executor = StreamingQueryExecutor(detector)
+    indices = range(0, 50, 2)
+    filtered = executor.execute(query, tiny_jackson.test, cascade, frame_indices=indices)
+    brute = brute_force_execute(
+        query,
+        tiny_jackson.test,
+        ReferenceDetector(class_names=tiny_jackson.class_names, seed=77),
+        frame_indices=indices,
+    )
+    accuracy = filtered.accuracy_against(brute.matched_frames)
+    # Verification uses the same detector, so no false positives are possible.
+    assert accuracy["precision"] == 1.0
+    assert accuracy["recall"] >= 0.9
+    # The cascade never invokes the detector more often than brute force; its
+    # own cost adds at most the (tiny) per-frame filter latency.
+    assert filtered.stats.detector_invocations <= brute.stats.detector_invocations
+    filter_overhead_s = filtered.stats.filter_invocations * trained_od_filter.latency_ms / 1000.0
+    assert filtered.stats.simulated_seconds <= brute.stats.simulated_seconds + filter_overhead_s
+    assert filtered.speedup_against(brute) >= 0.9
+    assert filtered.stats.filter_selectivity <= 1.0
+    assert brute.cascade_description == "(empty)"
+
+
+def test_execution_stats_and_clock_restoration(trained_od_filter, tiny_jackson):
+    query = QueryBuilder("q").count("car").at_least(1).build()
+    cascade = QueryPlanner({"od": trained_od_filter}, PlannerConfig()).plan(query)
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=1)
+    executor = StreamingQueryExecutor(detector)
+    result = executor.execute(query, tiny_jackson.test, cascade, frame_indices=range(10))
+    assert result.stats.frames_scanned == 10
+    assert result.stats.filter_invocations == 10
+    assert result.stats.simulated_cost.per_component_calls.get("od_filter") == 10
+    # The executor must not permanently hijack the filter's clock.
+    assert trained_od_filter.clock is None
+    assert detector.clock is None
+
+
+def test_empty_cascade_runs_detector_on_every_frame(tiny_jackson):
+    query = QueryBuilder("q").count().at_least(0).build()
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=1)
+    executor = StreamingQueryExecutor(detector)
+    result = executor.execute(query, tiny_jackson.test, FilterCascade(), frame_indices=range(5))
+    assert result.stats.detector_invocations == 5
+    assert result.num_matches == 5

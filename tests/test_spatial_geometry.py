@@ -1,0 +1,116 @@
+"""Unit and property tests for boxes, points and IoU."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.geometry import Box, Point, box_iou, union_box
+
+
+def test_point_distance_and_translation():
+    a = Point(0.0, 0.0)
+    b = Point(3.0, 4.0)
+    assert a.distance_to(b) == pytest.approx(5.0)
+    assert a.translated(1.0, 2.0) == Point(1.0, 2.0)
+    assert b.as_tuple() == (3.0, 4.0)
+
+
+def test_box_requires_positive_extent():
+    with pytest.raises(ValueError):
+        Box(0, 0, 0, 10)
+    with pytest.raises(ValueError):
+        Box(5, 5, 4, 10)
+    with pytest.raises(ValueError):
+        Box.from_center(0, 0, -1, 5)
+
+
+def test_box_basic_properties():
+    box = Box.from_xywh(10, 20, 30, 40)
+    assert box.width == 30
+    assert box.height == 40
+    assert box.area == 1200
+    assert box.center == Point(25, 40)
+    assert box.as_tuple() == (10, 20, 40, 60)
+
+
+def test_box_containment_and_intersection():
+    outer = Box(0, 0, 100, 100)
+    inner = Box(10, 10, 20, 20)
+    disjoint = Box(200, 200, 210, 210)
+    assert outer.contains_box(inner)
+    assert not inner.contains_box(outer)
+    assert outer.contains_point(Point(50, 50))
+    assert not outer.contains_point(Point(100, 100))  # max edge exclusive
+    assert outer.intersects(inner)
+    assert not outer.intersects(disjoint)
+    assert outer.intersection(disjoint) is None
+    overlap = Box(50, 50, 150, 150).intersection(outer)
+    assert overlap == Box(50, 50, 100, 100)
+
+
+def test_box_clipping_and_scaling():
+    box = Box(-10, -10, 50, 50)
+    clipped = box.clipped(40, 40)
+    assert clipped == Box(0, 0, 40, 40)
+    assert Box(100, 100, 200, 200).clipped(50, 50) is None
+    scaled = Box(0, 0, 10, 20).scaled(0.5)
+    assert scaled == Box(0, 0, 5, 10)
+    with pytest.raises(ValueError):
+        Box(0, 0, 1, 1).scaled(0)
+
+
+def test_union_box():
+    boxes = [Box(0, 0, 10, 10), Box(5, 5, 20, 15), Box(-5, 2, 3, 8)]
+    merged = union_box(boxes)
+    assert merged == Box(-5, 0, 20, 15)
+    with pytest.raises(ValueError):
+        union_box([])
+
+
+def test_iou_known_values():
+    a = Box(0, 0, 10, 10)
+    assert box_iou(a, a) == pytest.approx(1.0)
+    b = Box(5, 0, 15, 10)
+    assert box_iou(a, b) == pytest.approx(50 / 150)
+    assert box_iou(a, Box(20, 20, 30, 30)) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Property-based tests
+# ----------------------------------------------------------------------
+boxes = st.builds(
+    Box.from_center,
+    st.floats(-100, 100),
+    st.floats(-100, 100),
+    st.floats(1, 50),
+    st.floats(1, 50),
+)
+
+
+@given(boxes, boxes)
+def test_iou_is_symmetric_and_bounded(a, b):
+    iou_ab = box_iou(a, b)
+    iou_ba = box_iou(b, a)
+    assert math.isclose(iou_ab, iou_ba, rel_tol=1e-9, abs_tol=1e-12)
+    assert 0.0 <= iou_ab <= 1.0 + 1e-9
+
+
+@given(boxes)
+def test_iou_with_self_is_one(a):
+    assert box_iou(a, a) == pytest.approx(1.0)
+
+
+@given(boxes, st.floats(-50, 50), st.floats(-50, 50))
+def test_translation_preserves_area(box, dx, dy):
+    moved = box.translated(dx, dy)
+    assert math.isclose(moved.area, box.area, rel_tol=1e-9)
+
+
+@given(boxes, boxes)
+def test_union_contains_both(a, b):
+    merged = union_box([a, b])
+    assert merged.contains_box(a)
+    assert merged.contains_box(b)

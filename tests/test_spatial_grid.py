@@ -1,0 +1,111 @@
+"""Tests for the grid abstraction and grid masks."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.geometry import Box, Point
+from repro.spatial.grid import Grid, GridMask, cells_within_manhattan
+
+
+@pytest.fixture()
+def grid() -> Grid:
+    return Grid(rows=8, cols=8, frame_width=80, frame_height=80)
+
+
+def test_grid_validation():
+    with pytest.raises(ValueError):
+        Grid(rows=0, cols=8, frame_width=80, frame_height=80)
+    with pytest.raises(ValueError):
+        Grid(rows=8, cols=8, frame_width=0, frame_height=80)
+
+
+def test_cell_of_point_and_cell_box(grid):
+    assert grid.cell_of_point(Point(0, 0)) == (0, 0)
+    assert grid.cell_of_point(Point(79, 79)) == (7, 7)
+    assert grid.cell_of_point(Point(500, -3)) == (0, 7)  # clamped
+    cell_box = grid.cell_box(2, 3)
+    assert cell_box == Box(30, 20, 40, 30)
+    assert grid.cell_center(0, 0) == Point(5, 5)
+    with pytest.raises(IndexError):
+        grid.cell_box(8, 0)
+
+
+def test_cells_overlapping_box(grid):
+    cells = grid.cells_overlapping_box(Box(5, 5, 25, 15))
+    assert (0, 0) in cells and (0, 1) in cells and (0, 2) in cells
+    assert (1, 0) in cells
+    # min_coverage filters barely-touched cells: cell (0,0) is only 25% covered
+    # by the box while cell (0,1) is 50% covered.
+    strict = grid.cells_overlapping_box(Box(5, 5, 25, 15), min_coverage=0.4)
+    assert (0, 1) in strict
+    assert (0, 0) not in strict
+    assert grid.cells_overlapping_box(Box(500, 500, 600, 600)) == []
+
+
+def test_mask_from_boxes_and_set_algebra(grid):
+    mask_a = grid.mask_from_boxes([Box(0, 0, 20, 20)])
+    mask_b = grid.mask_from_boxes([Box(10, 10, 30, 30)])
+    assert mask_a.count == 4 and mask_b.count == 4
+    assert mask_a.union(mask_b).count == 7
+    assert mask_a.intersection(mask_b).count == 1
+    assert mask_a.difference(mask_b).count == 3
+    assert bool(grid.empty_mask()) is False
+    assert grid.empty_mask().centroid() is None
+
+
+def test_mask_shape_validation(grid):
+    with pytest.raises(ValueError):
+        GridMask(grid=grid, values=np.zeros((3, 3), dtype=bool))
+    other = Grid(rows=4, cols=4, frame_width=80, frame_height=80)
+    with pytest.raises(ValueError):
+        grid.empty_mask().union(other.empty_mask())
+
+
+def test_mask_dilation(grid):
+    values = np.zeros((8, 8), dtype=bool)
+    values[4, 4] = True
+    mask = GridMask(grid=grid, values=values)
+    dilated = mask.dilated(1)
+    assert dilated.count == 5  # the cell plus its 4 neighbours
+    assert mask.dilated(0).count == 1
+    corner = np.zeros((8, 8), dtype=bool)
+    corner[0, 0] = True
+    assert GridMask(grid=grid, values=corner).dilated(1).count == 3
+
+
+def test_cells_within_manhattan():
+    cells = cells_within_manhattan((2, 2), 1, 5, 5)
+    assert set(cells) == {(2, 2), (1, 2), (3, 2), (2, 1), (2, 3)}
+    assert cells_within_manhattan((0, 0), 2, 5, 5) == [
+        (0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (2, 0),
+    ]
+    with pytest.raises(ValueError):
+        cells_within_manhattan((0, 0), -1, 5, 5)
+
+
+@given(
+    st.integers(0, 7), st.integers(0, 7), st.integers(0, 3)
+)
+def test_manhattan_neighbourhood_property(row, col, distance):
+    cells = cells_within_manhattan((row, col), distance, 8, 8)
+    assert (row, col) in cells
+    for r, c in cells:
+        assert abs(r - row) + abs(c - col) <= distance
+        assert 0 <= r < 8 and 0 <= c < 8
+    assert len(set(cells)) == len(cells)
+
+
+@given(st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=10), st.integers(0, 2))
+def test_dilation_is_monotone(cells, distance):
+    grid = Grid(rows=8, cols=8, frame_width=80, frame_height=80)
+    values = np.zeros((8, 8), dtype=bool)
+    for r, c in cells:
+        values[r, c] = True
+    mask = GridMask(grid=grid, values=values)
+    dilated = mask.dilated(distance)
+    # Dilation never removes cells and grows with distance.
+    assert np.all(dilated.values[mask.values])
+    assert dilated.count >= mask.count

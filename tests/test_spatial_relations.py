@@ -1,0 +1,142 @@
+"""Tests for directional relations, regions and constraint combinators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.constraints import DirectionalConstraint, RegionConstraint
+from repro.spatial.geometry import Box, Point
+from repro.spatial.grid import Grid, GridMask
+from repro.spatial.regions import Quadrant, Region, full_frame_region, quadrant_region
+from repro.spatial.relations import (
+    Direction,
+    direction_between,
+    evaluate_direction,
+    evaluate_direction_on_grid,
+    grid_masks_satisfy_direction,
+    inside_region,
+)
+
+
+def test_direction_inverse_and_keywords():
+    assert Direction.LEFT_OF.inverse is Direction.RIGHT_OF
+    assert Direction.ABOVE.inverse is Direction.BELOW
+    # ORDER(a, b) = RIGHT means "b is at the right of a" i.e. a LEFT_OF b.
+    assert Direction.from_keyword("RIGHT") is Direction.LEFT_OF
+    assert Direction.from_keyword("left") is Direction.RIGHT_OF
+    assert Direction.from_keyword("Above") is Direction.BELOW
+    with pytest.raises(ValueError):
+        Direction.from_keyword("diagonal")
+
+
+def test_evaluate_direction_on_boxes():
+    left = Box.from_center(10, 50, 10, 10)
+    right = Box.from_center(60, 50, 10, 10)
+    assert evaluate_direction(left, right, Direction.LEFT_OF).satisfied
+    assert not evaluate_direction(left, right, Direction.RIGHT_OF).satisfied
+    assert evaluate_direction(right, left, Direction.RIGHT_OF).satisfied
+    above = Box.from_center(50, 10, 10, 10)
+    below = Box.from_center(50, 90, 10, 10)
+    assert evaluate_direction(above, below, Direction.ABOVE).satisfied
+    assert evaluate_direction(below, above, Direction.BELOW).satisfied
+    # Margin excludes near-ties.
+    assert not evaluate_direction(left, right, Direction.LEFT_OF, margin=100).satisfied
+    with pytest.raises(ValueError):
+        evaluate_direction(left, right, Direction.LEFT_OF, margin=-1)
+
+
+def test_direction_between_points():
+    directions = direction_between(Point(0, 0), Point(10, 10))
+    assert Direction.LEFT_OF in directions
+    assert Direction.ABOVE in directions
+    assert Direction.RIGHT_OF not in directions
+
+
+def _mask_with(grid: Grid, cells) -> GridMask:
+    values = np.zeros(grid.shape, dtype=bool)
+    for r, c in cells:
+        values[r, c] = True
+    return GridMask(grid=grid, values=values)
+
+
+def test_grid_direction_checks():
+    grid = Grid(rows=10, cols=10, frame_width=100, frame_height=100)
+    left_mask = _mask_with(grid, [(5, 1), (5, 2)])
+    right_mask = _mask_with(grid, [(5, 8)])
+    assert evaluate_direction_on_grid(left_mask, right_mask, Direction.LEFT_OF).satisfied
+    assert grid_masks_satisfy_direction(left_mask, right_mask, Direction.LEFT_OF)
+    assert not grid_masks_satisfy_direction(left_mask, right_mask, Direction.RIGHT_OF)
+    empty = grid.empty_mask()
+    assert not evaluate_direction_on_grid(left_mask, empty, Direction.LEFT_OF).satisfied
+    assert not grid_masks_satisfy_direction(empty, right_mask, Direction.LEFT_OF)
+
+
+def test_quadrants_partition_the_frame():
+    regions = [quadrant_region(q, 100, 100) for q in Quadrant]
+    assert sum(r.box.area for r in regions) == pytest.approx(100 * 100)
+    point = Point(25, 75)
+    containing = [r for r in regions if r.contains_point(point)]
+    assert len(containing) == 1
+    assert containing[0].name == Quadrant.LOWER_LEFT.value
+    frame = full_frame_region(100, 100)
+    assert frame.contains_point(point)
+
+
+def test_region_containment_modes():
+    region = Region("zone", Box(0, 0, 50, 50))
+    box = Box(35, 35, 55, 55)
+    assert region.contains_box(box, mode="center") is True
+    assert region.contains_box(box, mode="full") is False
+    assert region.contains_box(box, mode="overlap") is True
+    with pytest.raises(ValueError):
+        region.contains_box(box, mode="weird")
+    assert inside_region(Point(10, 10), region)
+    assert not inside_region(Point(90, 90), region)
+
+
+def test_region_grid_mask():
+    grid = Grid(rows=4, cols=4, frame_width=40, frame_height=40)
+    region = quadrant_region(Quadrant.UPPER_LEFT, 40, 40)
+    mask = region.grid_mask(grid)
+    assert mask.count == 4
+    assert set(mask.occupied_cells()) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+def test_constraint_combinators():
+    grid = Grid(rows=10, cols=10, frame_width=100, frame_height=100)
+    binding = {
+        "car": Box.from_center(20, 40, 10, 10),
+        "bus": Box.from_center(80, 50, 20, 10),
+    }
+    left = DirectionalConstraint("car", "bus", Direction.LEFT_OF)
+    right = DirectionalConstraint("car", "bus", Direction.RIGHT_OF)
+    region = RegionConstraint("car", quadrant_region(Quadrant.UPPER_LEFT, 100, 100))
+    assert left.evaluate(binding)
+    assert not right.evaluate(binding)
+    assert (left & region).evaluate(binding)
+    assert (left | right).evaluate(binding)
+    assert (~right).evaluate(binding)
+    assert not left.evaluate({"car": binding["car"]})  # missing variable
+    assert left.variables() == frozenset({"car", "bus"})
+    # Grid-mask bindings go through the grid evaluation path.
+    grid_binding = {
+        "car": grid.mask_from_boxes([binding["car"]]),
+        "bus": grid.mask_from_boxes([binding["bus"]]),
+    }
+    assert left.evaluate(grid_binding)
+    with pytest.raises(TypeError):
+        left.evaluate({"car": binding["car"], "bus": grid_binding["bus"]})
+
+
+@given(
+    st.floats(5, 95), st.floats(5, 95), st.floats(5, 95), st.floats(5, 95)
+)
+def test_direction_antisymmetry(ax, ay, bx, by):
+    a = Point(ax, ay)
+    b = Point(bx, by)
+    for direction in Direction:
+        forward = evaluate_direction(a, b, direction).satisfied
+        backward = evaluate_direction(b, a, direction.inverse).satisfied
+        assert forward == backward

@@ -1,0 +1,122 @@
+"""Tests for object classes, appearance sampling and motion models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.spatial.geometry import Point
+from repro.video.motion import LinearMotion, ParkedMotion, WanderMotion, WaypointMotion
+from repro.video.objects import (
+    NAMED_COLORS,
+    AppearanceModel,
+    TrackedObject,
+    default_class_registry,
+)
+
+
+def test_registry_contains_expected_classes():
+    registry = default_class_registry()
+    for name in ("car", "bus", "truck", "person", "fish", "bicycle"):
+        assert name in registry
+        assert registry[name].name == name
+    assert registry["car"].appearance.shape == "rectangle"
+    assert registry["person"].appearance.shape == "ellipse"
+
+
+def test_appearance_validation():
+    with pytest.raises(ValueError):
+        AppearanceModel(shape="blob", width_range=(5, 10), aspect_ratio_range=(1, 2), color_names=("red",))
+    with pytest.raises(ValueError):
+        AppearanceModel(shape="ellipse", width_range=(10, 5), aspect_ratio_range=(1, 2), color_names=("red",))
+    with pytest.raises(ValueError):
+        AppearanceModel(shape="ellipse", width_range=(5, 10), aspect_ratio_range=(1, 2), color_names=("neon",))
+    with pytest.raises(ValueError):
+        AppearanceModel(
+            shape="ellipse",
+            width_range=(5, 10),
+            aspect_ratio_range=(1, 2),
+            color_names=("red", "blue"),
+            color_weights=(1.0,),
+        )
+
+
+def test_appearance_sampling_respects_ranges(rng):
+    appearance = default_class_registry()["car"].appearance
+    for _ in range(50):
+        width, height, color = appearance.sample(rng)
+        assert appearance.width_range[0] <= width <= appearance.width_range[1]
+        assert color in NAMED_COLORS
+        ratio = height / width
+        assert appearance.aspect_ratio_range[0] <= ratio <= appearance.aspect_ratio_range[1]
+
+
+def test_linear_motion():
+    motion = LinearMotion(start=Point(0, 0), velocity=(2.0, -1.0))
+    assert motion.position_at(0) == Point(0, 0)
+    assert motion.position_at(10) == Point(20, -10)
+    with pytest.raises(ValueError):
+        motion.position_at(-1)
+
+
+def test_parked_motion_is_stationary_and_deterministic():
+    motion = ParkedMotion(position=Point(5, 5), jitter=0.5, seed=3)
+    assert motion.position_at(7) == motion.position_at(7)
+    still = ParkedMotion(position=Point(5, 5), jitter=0.0)
+    assert still.position_at(100) == Point(5, 5)
+
+
+def test_wander_motion_stays_near_anchor():
+    motion = WanderMotion(anchor=Point(50, 50), radius=10, seed=1)
+    for age in range(0, 200, 10):
+        position = motion.position_at(age)
+        assert abs(position.x - 50) <= 10 + 1e-9
+        assert abs(position.y - 50) <= 10 + 1e-9
+
+
+def test_waypoint_motion_follows_polyline():
+    motion = WaypointMotion(waypoints=(Point(0, 0), Point(10, 0), Point(10, 10)), speed=1.0)
+    assert motion.position_at(0) == Point(0, 0)
+    assert motion.position_at(10) == Point(10, 0)
+    assert motion.position_at(15) == Point(10, 5)
+    # Past the last waypoint, keeps going in the final direction.
+    beyond = motion.position_at(25)
+    assert beyond.x == pytest.approx(10)
+    assert beyond.y > 10
+    with pytest.raises(ValueError):
+        WaypointMotion(waypoints=(Point(0, 0),), speed=1.0)
+    with pytest.raises(ValueError):
+        WaypointMotion(waypoints=(Point(0, 0), Point(1, 1)), speed=0.0)
+
+
+def test_tracked_object_lifetime_and_states():
+    registry = default_class_registry()
+    track = TrackedObject(
+        track_id=1,
+        object_class=registry["car"],
+        width=40,
+        height=20,
+        color_name="blue",
+        spawn_frame=10,
+        despawn_frame=20,
+        motion=LinearMotion(start=Point(0, 100), velocity=(5, 0)),
+    )
+    assert not track.alive_at(9)
+    assert track.alive_at(10)
+    assert not track.alive_at(20)
+    assert track.state_at(5) is None
+    state = track.state_at(12)
+    assert state is not None
+    assert state.class_name == "car"
+    assert state.color_name == "blue"
+    assert state.box.center.x == pytest.approx(10.0)
+    assert state.center == state.box.center
+
+
+@given(st.floats(-50, 50), st.floats(-50, 50), st.integers(0, 100))
+def test_linear_motion_is_additive(vx, vy, age):
+    motion = LinearMotion(start=Point(1.0, 2.0), velocity=(vx, vy))
+    position = motion.position_at(age)
+    assert position.x == pytest.approx(1.0 + vx * age)
+    assert position.y == pytest.approx(2.0 + vy * age)
