@@ -32,6 +32,7 @@ This package provides:
 """
 
 from repro.filters.base import (
+    BatchPrediction,
     CountTolerance,
     FilterPrediction,
     FrameFilter,
@@ -57,6 +58,7 @@ from repro.filters.metrics import (
 from repro.filters.calibration import ThresholdCalibration, calibrate_threshold
 
 __all__ = [
+    "BatchPrediction",
     "FilterPrediction",
     "FrameFilter",
     "CountTolerance",

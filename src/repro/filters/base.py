@@ -103,6 +103,33 @@ class FilterPrediction:
         return predicted >= minimum - int(tolerance)
 
 
+@dataclass(frozen=True)
+class BatchPrediction:
+    """Per-frame predictions of one filter over a batch of frames.
+
+    The batch is positional: ``predictions[i]`` belongs to the ``i``-th frame
+    passed to :meth:`FrameFilter.predict_batch`.  Each element is an ordinary
+    :class:`FilterPrediction`, so every per-frame consumer (cascade checks,
+    predicate helpers) works unchanged on batch results.
+    """
+
+    filter_name: str
+    predictions: tuple[FilterPrediction, ...]
+
+    def __len__(self) -> int:
+        return len(self.predictions)
+
+    def __iter__(self):
+        return iter(self.predictions)
+
+    def __getitem__(self, index: int) -> FilterPrediction:
+        return self.predictions[index]
+
+    @property
+    def frame_indices(self) -> tuple[int, ...]:
+        return tuple(prediction.frame_index for prediction in self.predictions)
+
+
 class FrameFilter(abc.ABC):
     """A cheap approximate per-frame estimator.
 
@@ -125,9 +152,28 @@ class FrameFilter(abc.ABC):
     def predict(self, frame: Frame) -> FilterPrediction:
         """Estimate counts and locations for ``frame``."""
 
+    def predict_batch(self, frames: Sequence[Frame]) -> BatchPrediction:
+        """Estimate counts and locations for a batch of frames.
+
+        The base implementation falls back to a per-frame loop, so every
+        filter supports batching; subclasses override it with vectorized
+        implementations.  Batch results must be equivalent to calling
+        :meth:`predict` on each frame, including the simulated cost charged
+        per frame to the clock.
+        """
+        return BatchPrediction(
+            filter_name=self.name,
+            predictions=tuple(self.predict(frame) for frame in frames),
+        )
+
     def predict_many(self, frames: Sequence[Frame]) -> list[FilterPrediction]:
-        return [self.predict(frame) for frame in frames]
+        return list(self.predict_batch(frames))
 
     def _charge(self) -> None:
         if self.clock is not None:
             self.clock.charge(self.name, self.latency_ms)
+
+    def _charge_batch(self, calls: int) -> None:
+        """Charge ``calls`` frames' worth of latency in one batched charge."""
+        if self.clock is not None and calls > 0:
+            self.clock.charge(self.name, self.latency_ms * calls, calls=calls)

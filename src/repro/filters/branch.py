@@ -10,11 +10,13 @@ machinery; :mod:`repro.filters.ic` and :mod:`repro.filters.od` configure it.
 
 from __future__ import annotations
 
+from typing import Sequence
+
 import numpy as np
 
 from repro.cost import SimulatedClock
 from repro.detection.backbone import FeatureBackbone
-from repro.filters.base import FilterPrediction, FrameFilter
+from repro.filters.base import BatchPrediction, FilterPrediction, FrameFilter
 from repro.filters.heads import (
     CountCalibration,
     GridScoringHead,
@@ -89,6 +91,48 @@ class LinearBranchFilter(FrameFilter):
             latency_ms=self.latency_ms,
         )
 
+    def predict_batch(self, frames: Sequence[Frame]) -> BatchPrediction:
+        """Vectorized prediction over a batch of frames.
+
+        The backbone features and grid-head scores of the whole batch are
+        computed in stacked numpy operations (the hot path); the cheap
+        per-frame count aggregation reuses exactly the per-frame functions,
+        so every prediction is bit-identical to :meth:`predict`.
+        """
+        if not frames:
+            return BatchPrediction(filter_name=self.name, predictions=())
+        self._charge_batch(len(frames))
+        images = np.stack([frame.image for frame in frames])
+        features = self.backbone.extract_batch(images)
+        stacked_scores = suppress_cross_class(
+            self.grid_head.score_batch(features), self.threshold
+        )
+        predictions = []
+        for position, frame in enumerate(frames):
+            location_scores = {
+                name: scores[position] for name, scores in stacked_scores.items()
+            }
+            per_class_count_features = {
+                name: count_features(scores, self.threshold)
+                for name, scores in location_scores.items()
+            }
+            raw_counts, class_counts = self.count_calibration.estimate(
+                per_class_count_features
+            )
+            predictions.append(
+                FilterPrediction(
+                    frame_index=frame.index,
+                    filter_name=self.name,
+                    grid=self.grid,
+                    class_counts=class_counts,
+                    class_scores=raw_counts,
+                    location_scores=location_scores,
+                    threshold=self.threshold,
+                    latency_ms=self.latency_ms,
+                )
+            )
+        return BatchPrediction(filter_name=self.name, predictions=tuple(predictions))
+
 
 class PooledCountFilter(FrameFilter):
     """A count-only filter over globally pooled backbone features (OD-COF)."""
@@ -129,3 +173,34 @@ class PooledCountFilter(FrameFilter):
             threshold=1.0,
             latency_ms=self.latency_ms,
         )
+
+    def predict_batch(self, frames: Sequence[Frame]) -> BatchPrediction:
+        """Vectorized count-only prediction over a batch of frames."""
+        if not frames:
+            return BatchPrediction(filter_name=self.name, predictions=())
+        self._charge_batch(len(frames))
+        images = np.stack([frame.image for frame in frames])
+        features = self.backbone.extract_batch(images)
+        n = features.shape[0]
+        flat = features.reshape(n, -1, features.shape[-1])
+        # One GEMM instead of a strided middle-axis mean (several times faster).
+        ones = np.full((1, flat.shape[1]), 1.0)
+        pooled = (ones @ flat)[:, 0, :] / flat.shape[1]
+        predictions = []
+        for position, frame in enumerate(frames):
+            raw_count = self.count_head.estimate(pooled[position])
+            class_counts = {"object": int(round(raw_count))}
+            class_scores = {"object": raw_count}
+            predictions.append(
+                FilterPrediction(
+                    frame_index=frame.index,
+                    filter_name=self.name,
+                    grid=self.grid,
+                    class_counts=class_counts,
+                    class_scores=class_scores,
+                    location_scores={},
+                    threshold=1.0,
+                    latency_ms=self.latency_ms,
+                )
+            )
+        return BatchPrediction(filter_name=self.name, predictions=tuple(predictions))

@@ -52,6 +52,10 @@ def suppress_cross_class(
     discriminate these cases; for the linear heads we resolve the competition
     explicitly: if another class scores strictly higher on a cell (and is
     above threshold), the losing class's score on that cell is zeroed.
+
+    The computation is purely elementwise, so it accepts ``(g, g)`` maps or
+    batched ``(N, g, g)`` stacks alike; each frame's result is bit-identical
+    either way (the batched filter path relies on this).
     """
     if not location_scores:
         return {}
@@ -214,6 +218,27 @@ class GridScoringHead:
         scores = scores.reshape(g_rows, g_cols, len(self.class_names))
         return {
             name: scores[:, :, index] for index, name in enumerate(self.class_names)
+        }
+
+    def score_batch(self, cell_features: np.ndarray) -> dict[str, np.ndarray]:
+        """Per-class cell scores for a ``(N, g, g, F)`` feature batch.
+
+        Returns ``{class: (N, g, g)}``.  The matrix product broadcasts over
+        the batch axis (one identically-shaped GEMM per frame), so each slice
+        is bit-identical to :meth:`score` on that frame's features.
+        """
+        features = np.asarray(cell_features, dtype=np.float64)
+        if features.ndim != 4 or features.shape[3] != self.num_features:
+            raise ValueError(
+                f"expected (N, g, g, {self.num_features}) features, got {features.shape}"
+            )
+        n, g_rows, g_cols, _ = features.shape
+        flat = features.reshape(n, g_rows * g_cols, self.num_features)
+        scores = flat @ self.weights.T + self.bias
+        scores = np.clip(scores, 0.0, 1.0)
+        scores = scores.reshape(n, g_rows, g_cols, len(self.class_names))
+        return {
+            name: scores[:, :, :, index] for index, name in enumerate(self.class_names)
         }
 
 

@@ -13,6 +13,12 @@ Here the VGG19 trunk is replaced by the classification-style frozen feature
 backbone (see DESIGN.md); the branch head is trained on detector annotations
 exactly as in the paper.  The per-frame latency charged to the simulated
 clock is the paper's measured 1.5 ms.
+
+Both single-frame :meth:`~repro.filters.base.FrameFilter.predict` and the
+vectorized :meth:`~repro.filters.base.FrameFilter.predict_batch` (inherited
+from :class:`~repro.filters.branch.LinearBranchFilter`) are supported; the
+batched path stacks the backbone and head computation across frames and is
+what the batched query executor drives.
 """
 
 from __future__ import annotations

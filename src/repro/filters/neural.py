@@ -21,7 +21,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.cost import OD_BRANCH_MS, SimulatedClock
-from repro.filters.base import FilterPrediction, FrameFilter
+from repro.filters.base import BatchPrediction, FilterPrediction, FrameFilter
 from repro.nn.layers import (
     Conv2D,
     Dense,
@@ -149,29 +149,36 @@ class NeuralBranchFilter(FrameFilter):
         self.threshold = threshold
 
     def _prepare_input(self, image: np.ndarray) -> np.ndarray:
-        height = image.shape[0]
+        """Downsample ``(H, W, 3)`` pixels to the network's square input size.
+
+        Height and width are reduced independently, so rectangular frames are
+        handled correctly: block-mean pooling when both axes divide evenly by
+        ``image_size``, nearest-neighbour sampling with per-axis indices
+        otherwise.
+        """
+        height, width = image.shape[0], image.shape[1]
+        size = self.image_size
         pixels = image.astype(np.float64) / 255.0
-        if height != self.image_size:
-            if height % self.image_size == 0:
-                block = height // self.image_size
-                pixels = pixels.reshape(
-                    self.image_size, block, self.image_size, block, 3
-                ).mean(axis=(1, 3))
-            else:
-                indices = np.clip(
-                    (np.arange(self.image_size) * height / self.image_size).astype(int),
-                    0,
-                    height - 1,
+        if (height, width) != (size, size):
+            if height % size == 0 and width % size == 0:
+                row_block = height // size
+                col_block = width // size
+                pixels = pixels.reshape(size, row_block, size, col_block, 3).mean(
+                    axis=(1, 3)
                 )
-                pixels = pixels[indices][:, indices]
+            else:
+                rows = np.clip(
+                    (np.arange(size) * height / size).astype(int), 0, height - 1
+                )
+                cols = np.clip(
+                    (np.arange(size) * width / size).astype(int), 0, width - 1
+                )
+                pixels = pixels[rows][:, cols]
         return pixels.transpose(2, 0, 1)[None, ...]
 
-    def predict(self, frame: Frame) -> FilterPrediction:
-        self._charge()
-        inputs = self._prepare_input(frame.image)
-        outputs = self.network.forward(inputs)
-        counts = outputs["counts"][0]
-        grid_scores = outputs["grid"][0]
+    def _prediction_for(
+        self, frame: Frame, counts: np.ndarray, grid_scores: np.ndarray
+    ) -> FilterPrediction:
         class_counts = {
             name: int(round(max(float(counts[index]), 0.0)))
             for index, name in enumerate(self.class_names)
@@ -192,4 +199,29 @@ class NeuralBranchFilter(FrameFilter):
             location_scores=location_scores,
             threshold=self.threshold,
             latency_ms=self.latency_ms,
+        )
+
+    def predict(self, frame: Frame) -> FilterPrediction:
+        self._charge()
+        inputs = self._prepare_input(frame.image)
+        outputs = self.network.forward(inputs)
+        return self._prediction_for(frame, outputs["counts"][0], outputs["grid"][0])
+
+    def predict_batch(self, frames: Sequence[Frame]) -> BatchPrediction:
+        """One stacked ``(N, C, H, W)`` forward pass for the whole batch."""
+        if not frames:
+            return BatchPrediction(filter_name=self.name, predictions=())
+        self._charge_batch(len(frames))
+        inputs = np.concatenate(
+            [self._prepare_input(frame.image) for frame in frames], axis=0
+        )
+        outputs = self.network.forward(inputs)
+        counts = outputs["counts"]
+        grid_scores = outputs["grid"]
+        return BatchPrediction(
+            filter_name=self.name,
+            predictions=tuple(
+                self._prediction_for(frame, counts[position], grid_scores[position])
+                for position, frame in enumerate(frames)
+            ),
         )

@@ -12,6 +12,11 @@ main branch and ``OD-COF`` from the count-only branch.  The detection-style
 backbone retains full spatial resolution, which is why OD filters localise
 markedly better than IC filters (Figures 12–15) while remaining competitive
 on counts.  Latencies follow the paper: 1.9 ms per frame for both branches.
+
+Both filters inherit the vectorized
+:meth:`~repro.filters.base.FrameFilter.predict_batch` implementation of
+their linear-branch base classes, which the batched query executor uses to
+amortise numpy call overhead across a chunk of frames.
 """
 
 from __future__ import annotations

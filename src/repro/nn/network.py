@@ -17,6 +17,20 @@ import numpy as np
 from repro.nn.layers import Layer
 
 
+def _weights_path(path: str | Path) -> Path:
+    """Normalise a weights path to the ``.npz`` suffix.
+
+    ``np.savez`` silently appends ``.npz`` when the suffix is missing, but
+    ``np.load`` does not — so a bare ``save("weights"); load("weights")``
+    round-trip used to raise ``FileNotFoundError``.  Both directions now
+    resolve to the same ``<path>.npz`` file.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_name(path.name + ".npz")
+    return path
+
+
 class Sequential:
     """A simple chain of layers with a combined forward / backward pass."""
 
@@ -86,11 +100,11 @@ class Sequential:
                 param[...] = value
 
     def save(self, path: str | Path) -> None:
-        np.savez(Path(path), **self.state_dict())
+        np.savez(_weights_path(path), **self.state_dict())
 
     @staticmethod
     def load_into(network: "Sequential", path: str | Path) -> None:
-        with np.load(Path(path)) as data:
+        with np.load(_weights_path(path)) as data:
             network.load_state_dict({key: data[key] for key in data.files})
 
 
@@ -186,10 +200,10 @@ class MultiHeadNetwork:
             head.load_state_dict(head_state)
 
     def save(self, path: str | Path) -> None:
-        np.savez(Path(path), **self.state_dict())
+        np.savez(_weights_path(path), **self.state_dict())
 
     def load(self, path: str | Path) -> None:
-        with np.load(Path(path)) as data:
+        with np.load(_weights_path(path)) as data:
             self.load_state_dict({key: data[key] for key in data.files})
 
 

@@ -30,6 +30,8 @@ from repro.query.planner import (
     FilterCascade,
     PlannerConfig,
     QueryPlanner,
+    measure_cascade_selectivity,
+    order_cascade_by_selectivity,
 )
 from repro.query.executor import (
     ExecutionStats,
@@ -55,6 +57,8 @@ __all__ = [
     "PlannerConfig",
     "FilterCascade",
     "CascadeStep",
+    "measure_cascade_selectivity",
+    "order_cascade_by_selectivity",
     "StreamingQueryExecutor",
     "QueryExecutionResult",
     "ExecutionStats",

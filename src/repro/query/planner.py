@@ -11,15 +11,26 @@ detector runs:
 Each check is approximate, so it is applied with a *tolerance* (counts within
 ±1 / ±2, grids dilated by Manhattan distance 1 / 2) chosen by
 :class:`PlannerConfig` — exactly the filter variants whose combinations the
-paper reports in Table III.  The paper leaves cascade *ordering* optimisation
-to future work; the planner applies count checks before location checks and
-otherwise preserves predicate order, and the cascade can also be constructed
-manually for ablation studies.
+paper reports in Table III.
+
+The paper leaves cascade *ordering* optimisation to future work; by default
+the planner applies count checks before location checks and otherwise
+preserves predicate order (``cascade_ordering="static"``).  With
+``cascade_ordering="selectivity"`` the planner additionally *measures* each
+step on a sample prefix of the stream and orders steps by the classic
+cost-per-rejection rule from the filter-ordering literature: a step with
+per-frame cost ``c`` and measured pass rate ``p`` removes a frame from the
+cascade for an expected ``c / (1 - p)``, so steps are sorted ascending by
+that ratio (cheap, selective steps first; steps that reject nothing go
+last).  Because all steps are conjunctive, reordering never changes which
+frames survive — only how much filter work is spent rejecting the rest.
+Cascades can also be constructed or reordered manually for ablation studies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+from dataclasses import dataclass, field, replace
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -45,6 +56,12 @@ class PlannerConfig:
     variants, ``location_dilation`` of 1 to ``*-CLF-1``, and so on.  The
     ``family`` chooses between the OD filters (default — better localisation)
     and the IC filters.
+
+    ``cascade_ordering`` selects how the planned steps are ordered:
+    ``"static"`` (the paper's fixed counts-before-locations order) or
+    ``"selectivity"`` (measure pass rates on a sample prefix of the stream
+    passed to :meth:`QueryPlanner.plan` and order by cost per rejection);
+    ``ordering_sample_size`` is how many prefix frames that measurement uses.
     """
 
     count_tolerance: int = 1
@@ -52,12 +69,23 @@ class PlannerConfig:
     family: str = "od"
     use_count_filter: bool = True
     use_location_filter: bool = True
+    cascade_ordering: str = "static"
+    ordering_sample_size: int = 32
 
     def __post_init__(self) -> None:
         if self.count_tolerance < 0 or self.location_dilation < 0:
             raise ValueError("tolerances must be non-negative")
         if self.family not in ("od", "ic"):
             raise ValueError(f"family must be 'od' or 'ic': {self.family!r}")
+        if self.cascade_ordering not in ("static", "selectivity"):
+            raise ValueError(
+                f"cascade_ordering must be 'static' or 'selectivity': "
+                f"{self.cascade_ordering!r}"
+            )
+        if self.ordering_sample_size < 1:
+            raise ValueError(
+                f"ordering_sample_size must be positive: {self.ordering_sample_size}"
+            )
 
 
 @dataclass(frozen=True)
@@ -67,14 +95,34 @@ class CascadeStep:
     ``check`` receives the filter's prediction for the frame and returns
     ``True`` when the frame *may* satisfy the query (so it should continue
     down the cascade) and ``False`` when it can be skipped.
+
+    ``measured_pass_rate`` / ``measured_cost_ms`` are filled in by
+    :func:`measure_cascade_selectivity` when selectivity-aware ordering runs;
+    they stay ``None`` on statically ordered cascades.
     """
 
     name: str
     frame_filter: FrameFilter
     check: Callable[[FilterPrediction], bool]
+    measured_pass_rate: float | None = None
+    measured_cost_ms: float | None = None
 
     def passes(self, prediction: FilterPrediction) -> bool:
         return bool(self.check(prediction))
+
+    @property
+    def cost_per_rejection(self) -> float:
+        """Expected filter milliseconds spent per frame this step rejects.
+
+        ``inf`` when the step was measured to reject nothing (or has not
+        been measured), which sorts such steps to the end of the cascade.
+        """
+        if self.measured_pass_rate is None or self.measured_cost_ms is None:
+            return math.inf
+        rejection_rate = 1.0 - self.measured_pass_rate
+        if rejection_rate <= 0.0:
+            return math.inf
+        return self.measured_cost_ms / rejection_rate
 
 
 @dataclass
@@ -100,6 +148,81 @@ class FilterCascade:
 
     def describe(self) -> str:
         return " -> ".join(step.name for step in self.steps) if self.steps else "(empty)"
+
+
+# ----------------------------------------------------------------------
+# Selectivity measurement and cost-based ordering
+# ----------------------------------------------------------------------
+def measure_cascade_selectivity(
+    cascade: FilterCascade,
+    stream,
+    sample_size: int = 32,
+    frame_indices: Sequence[int] | None = None,
+) -> FilterCascade:
+    """Measure each step's pass rate and cost on a sample prefix of ``stream``.
+
+    Every distinct filter is evaluated once (with one vectorized
+    ``predict_batch`` call) over the first ``sample_size`` frames — or over
+    ``frame_indices`` when given — and each step's checks are applied to the
+    resulting predictions.  Returns a new cascade whose steps carry
+    ``measured_pass_rate`` (fraction of sample frames the step lets through)
+    and ``measured_cost_ms`` (the filter's per-frame latency).  The filters'
+    clocks are detached during measurement, so planning charges nothing to
+    the simulated execution cost.
+    """
+    if frame_indices is None:
+        frame_indices = range(min(sample_size, len(stream)))
+    frames = [stream.frame(index) for index in frame_indices]
+    if not frames or not cascade.steps:
+        return FilterCascade(steps=list(cascade.steps))
+    saved_clocks = [(frame_filter, frame_filter.clock) for frame_filter in cascade.filters]
+    for frame_filter, _ in saved_clocks:
+        frame_filter.clock = None
+    try:
+        predictions = {
+            id(frame_filter): frame_filter.predict_batch(frames)
+            for frame_filter, _ in saved_clocks
+        }
+    finally:
+        for frame_filter, previous in saved_clocks:
+            frame_filter.clock = previous
+    measured = []
+    for step in cascade.steps:
+        step_predictions = predictions[id(step.frame_filter)]
+        passed = sum(1 for prediction in step_predictions if step.passes(prediction))
+        measured.append(
+            replace(
+                step,
+                measured_pass_rate=passed / len(frames),
+                measured_cost_ms=step.frame_filter.latency_ms,
+            )
+        )
+    return FilterCascade(steps=measured)
+
+
+def order_cascade_by_selectivity(
+    cascade: FilterCascade,
+    stream,
+    sample_size: int = 32,
+    frame_indices: Sequence[int] | None = None,
+) -> FilterCascade:
+    """Reorder ``cascade`` by measured cost per rejected frame, ascending.
+
+    The classic greedy rule for ordering independent conjunctive filters:
+    the step that rejects frames at the lowest expected filter cost runs
+    first.  Ties (and unmeasured steps) keep their original relative order,
+    so the result is deterministic.  Reordering cannot change which frames
+    survive the cascade — the steps are conjunctive — only the amount of
+    filter work spent on doomed frames.
+    """
+    measured = measure_cascade_selectivity(
+        cascade, stream, sample_size=sample_size, frame_indices=frame_indices
+    )
+    order = sorted(
+        range(len(measured.steps)),
+        key=lambda position: (measured.steps[position].cost_per_rejection, position),
+    )
+    return FilterCascade(steps=[measured.steps[position] for position in order])
 
 
 # ----------------------------------------------------------------------
@@ -180,8 +303,15 @@ class QueryPlanner:
             f"no class-aware filter available among {sorted(self.filters)}"
         )
 
-    def plan(self, query: Query) -> FilterCascade:
-        """Build the filter cascade for ``query``."""
+    def plan(self, query: Query, sample_stream=None) -> FilterCascade:
+        """Build the filter cascade for ``query``.
+
+        With ``cascade_ordering="selectivity"`` in the config, a
+        ``sample_stream`` must be provided: the planner measures each step's
+        pass rate on its first ``ordering_sample_size`` frames and orders the
+        steps by cost per rejection (see
+        :func:`order_cascade_by_selectivity`).
+        """
         config = self.config
         cascade = FilterCascade()
         primary = self._primary_filter()
@@ -232,4 +362,13 @@ class QueryPlanner:
                 )
             )
 
+        if config.cascade_ordering == "selectivity":
+            if sample_stream is None:
+                raise ValueError(
+                    "cascade_ordering='selectivity' needs a sample_stream to "
+                    "measure step pass rates on"
+                )
+            return order_cascade_by_selectivity(
+                cascade, sample_stream, sample_size=config.ordering_sample_size
+            )
         return cascade

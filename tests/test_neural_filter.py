@@ -7,6 +7,64 @@ import pytest
 
 from repro.detection import ReferenceDetector, annotate_stream
 from repro.filters import NeuralTrainingConfig, build_branch_network, train_neural_filter
+from repro.filters.neural import NeuralBranchFilter
+from repro.video.stream import Frame
+
+
+def _neural_filter(image_size=32, grid_size=8, frame_width=64, frame_height=32):
+    network = build_branch_network(
+        num_classes=2, image_size=image_size, grid_size=grid_size, base_channels=4
+    )
+    return NeuralBranchFilter(
+        network=network,
+        class_names=("car", "person"),
+        image_size=image_size,
+        grid_size=grid_size,
+        frame_width=frame_width,
+        frame_height=frame_height,
+    )
+
+
+def _frame(index: int, height: int, width: int, seed: int = 0) -> Frame:
+    rng = np.random.default_rng((seed, index))
+    image = rng.integers(0, 256, size=(height, width, 3), dtype=np.uint8)
+    return Frame(index=index, image=image, ground_truth=None)
+
+
+def test_prepare_input_handles_rectangular_frames():
+    """Regression: width used to be indexed with height-derived indices, so
+    any ``width != height`` frame either raised or sampled wrong columns."""
+    neural = _neural_filter(image_size=32)
+    # Both axes divisible: 32x64 -> per-axis block means.
+    image = np.zeros((32, 64, 3), dtype=np.uint8)
+    image[:, 32:, :] = 255  # right half white
+    prepared = neural._prepare_input(image)
+    assert prepared.shape == (1, 3, 32, 32)
+    np.testing.assert_allclose(prepared[0, :, :, :16], 0.0)
+    np.testing.assert_allclose(prepared[0, :, :, 16:], 1.0)
+    # Non-divisible axes fall back to per-axis nearest-neighbour sampling.
+    ragged = neural._prepare_input(np.zeros((48, 36, 3), dtype=np.uint8))
+    assert ragged.shape == (1, 3, 32, 32)
+    # End-to-end predict on a rectangular frame.
+    prediction = neural.predict(_frame(0, height=32, width=64))
+    assert set(prediction.class_counts) == {"car", "person"}
+
+
+def test_neural_predict_batch_matches_predict():
+    neural = _neural_filter(image_size=32, frame_width=32, frame_height=32)
+    frames = [_frame(index, height=32, width=32) for index in range(5)]
+    sequential = [neural.predict(frame) for frame in frames]
+    batched = neural.predict_batch(frames)
+    assert len(batched) == len(frames)
+    assert batched.frame_indices == tuple(range(5))
+    for seq, bat in zip(sequential, batched):
+        assert seq.class_counts == bat.class_counts
+        for name in seq.class_scores:
+            assert bat.class_scores[name] == pytest.approx(seq.class_scores[name], abs=1e-9)
+        for name in seq.location_scores:
+            np.testing.assert_allclose(
+                bat.location_scores[name], seq.location_scores[name], atol=1e-9
+            )
 
 
 def test_branch_network_output_shapes():

@@ -127,6 +127,35 @@ def test_multihead_network_roundtrip(tmp_path):
     assert len(network.parameter_groups(include_trunk=False)) < len(network.parameter_groups())
 
 
+def test_weights_roundtrip_without_npz_suffix(tmp_path):
+    """``save("weights")`` writes ``weights.npz``; loading by the bare name
+    must find that file instead of raising ``FileNotFoundError``."""
+    x = np.random.default_rng(0).normal(size=(4, 3))
+    net = Sequential([Dense(3, 2, seed=0)])
+    bare = tmp_path / "weights"
+    net.save(bare)
+    assert (tmp_path / "weights.npz").exists()
+    other = Sequential([Dense(3, 2, seed=5)])
+    Sequential.load_into(other, bare)
+    np.testing.assert_allclose(net.forward(x), other.forward(x))
+
+    network = MultiHeadNetwork(
+        trunk=Sequential([Dense(3, 2, seed=1)]),
+        heads={"out": Sequential([Dense(2, 1, seed=2)])},
+    )
+    network.save(tmp_path / "multi")
+    assert (tmp_path / "multi.npz").exists()
+    clone = MultiHeadNetwork(
+        trunk=Sequential([Dense(3, 2, seed=8)]),
+        heads={"out": Sequential([Dense(2, 1, seed=9)])},
+    )
+    clone.load(tmp_path / "multi")
+    np.testing.assert_allclose(network.forward(x)["out"], clone.forward(x)["out"])
+    # An explicit .npz suffix keeps working in both directions.
+    network.save(tmp_path / "multi2.npz")
+    clone.load(tmp_path / "multi2.npz")
+
+
 def test_sequential_state_dict_validation():
     net = Sequential([Dense(3, 2, seed=0)])
     state = net.state_dict()

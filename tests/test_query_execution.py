@@ -130,6 +130,42 @@ def test_execution_stats_and_clock_restoration(trained_od_filter, tiny_jackson):
     assert detector.clock is None
 
 
+def test_execution_stats_empty_semantics():
+    """0/0 corner cases must not pretend to be meaningful measurements."""
+    import math
+
+    from repro.cost import CostBreakdown
+    from repro.query import ExecutionStats, QueryExecutionResult
+
+    def result_with(frames_scanned=0, frames_passed=0):
+        stats = ExecutionStats(
+            frames_scanned=frames_scanned,
+            frames_passed_filters=frames_passed,
+            detector_invocations=0,
+            filter_invocations=0,
+            simulated_cost=CostBreakdown(),
+            wall_clock_seconds=0.0,
+        )
+        return QueryExecutionResult(
+            query_name="q", cascade_description="(empty)", matched_frames=(), stats=stats
+        )
+
+    empty = result_with()
+    # An empty scan has no survival fraction; 0.0 would read "perfectly
+    # selective".
+    assert math.isnan(empty.stats.filter_selectivity)
+    assert result_with(frames_scanned=4, frames_passed=2).stats.filter_selectivity == 0.5
+    # Two zero-cost executions are equally fast, not infinitely faster.
+    assert empty.speedup_against(result_with()) == 1.0
+    # A zero-cost execution against a real one is still infinitely faster.
+    other = result_with()
+    other.stats.simulated_cost.per_component_ms["mask_rcnn"] = 200.0
+    other.stats.simulated_cost.per_component_calls["mask_rcnn"] = 1
+    assert empty.speedup_against(other) == float("inf")
+    # ...and the real one is 0x "faster" than the free one.
+    assert other.speedup_against(empty) == 0.0
+
+
 def test_empty_cascade_runs_detector_on_every_frame(tiny_jackson):
     query = QueryBuilder("q").count().at_least(0).build()
     detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=1)
