@@ -32,7 +32,7 @@ from repro.aggregates.windows import WindowBounds
 from repro.cost import SimulatedClock
 from repro.detection.base import Detector, FrameDetections
 from repro.filters.base import FilterPrediction, FrameFilter
-from repro.query.ast import Query
+from repro.query.ast import Query, WindowSpec
 from repro.query.evaluation import evaluate_predicates_on_detections
 from repro.video.stream import Frame, VideoStream
 
@@ -51,12 +51,19 @@ class AggregateQuerySpec:
     value ``Y_i``; each entry of ``control_values`` maps a filter prediction
     to one control variate ``Z_i`` (all controls are evaluated on the same
     filter prediction — use multiple specs for multiple filters).
+
+    ``window`` carries the query's ``WINDOW HOPPING`` clause, if any;
+    :meth:`~repro.query.executor.StreamingQueryExecutor.execute_aggregate`
+    reports one estimate per window instance for windowed specs.  Plain
+    :meth:`AggregateMonitor.estimate` ignores it (its explicit ``window``
+    argument selects the sampling population).
     """
 
     name: str
     exact_value: ExactValueFn
     control_values: Sequence[ControlValueFn]
     description: str = ""
+    window: WindowSpec | None = None
 
     def __post_init__(self) -> None:
         if not self.control_values:
@@ -66,7 +73,11 @@ class AggregateQuerySpec:
     def from_query(
         cls, query: Query, control_values: Sequence[ControlValueFn], description: str = ""
     ) -> "AggregateQuerySpec":
-        """Indicator aggregate: the fraction of frames satisfying ``query``."""
+        """Indicator aggregate: the fraction of frames satisfying ``query``.
+
+        The query's window clause (if any) is carried over, so a windowed
+        query parsed from text turns into a windowed aggregate spec.
+        """
 
         def exact(detections: FrameDetections) -> float:
             return 1.0 if evaluate_predicates_on_detections(query, detections) else 0.0
@@ -76,6 +87,7 @@ class AggregateQuerySpec:
             exact_value=exact,
             control_values=list(control_values),
             description=description or query.describe(),
+            window=query.window,
         )
 
 
@@ -133,11 +145,22 @@ class AggregateMonitor:
     def _evaluate_samples(
         self, spec: AggregateQuerySpec, stream: VideoStream, indices: Sequence[int]
     ) -> tuple[np.ndarray, np.ndarray]:
+        """Evaluate exact values and controls on the sampled frames.
+
+        The filter side runs as one vectorized ``predict_batch`` call over
+        all sampled frames (the simulated latency is charged per frame either
+        way); only the reference detector, which defines ``Y``, still runs
+        frame by frame, in sample order.  Against the historical per-frame
+        ``predict`` loop the detector side is identical, and the filter side
+        agrees exactly on the integer counts and thresholded masks the
+        standard controls consume (raw scores may differ at the last ulp —
+        see ``LinearBranchFilter.predict_batch``).
+        """
         exact_values = np.zeros(len(indices))
         controls = np.zeros((len(indices), len(spec.control_values)))
-        for row, frame_index in enumerate(indices):
-            frame = stream.frame(int(frame_index))
-            prediction = self.frame_filter.predict(frame)
+        frames = [stream.frame(int(frame_index)) for frame_index in indices]
+        predictions = self.frame_filter.predict_batch(frames)
+        for row, (frame, prediction) in enumerate(zip(frames, predictions)):
             detections = self.detector.detect(frame)
             exact_values[row] = spec.exact_value(detections)
             for col, control in enumerate(spec.control_values):

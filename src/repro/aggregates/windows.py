@@ -40,7 +40,18 @@ class HoppingWindow:
             raise ValueError(f"size and advance must be positive: {self.size}, {self.advance}")
 
     def windows_over(self, num_frames: int, include_partial: bool = False) -> Iterator[WindowBounds]:
-        """All window instances over a stream of ``num_frames`` frames."""
+        """All window instances over a stream of ``num_frames`` frames.
+
+        With the default ``include_partial=False`` only full-size windows are
+        yielded, so a trailing remainder shorter than ``size`` is silently
+        *not covered* (e.g. ``size=100`` over 250 frames never covers frames
+        200–249).  That is the right default for the paper's fixed-size
+        window experiments, where every window must hold the same number of
+        frames; windowed *query execution* wants full stream coverage and
+        passes ``include_partial=True`` (the executor's
+        ``include_partial_windows`` default), which appends one final,
+        shorter window over the remaining frames.
+        """
         if num_frames <= 0:
             return
         start = 0

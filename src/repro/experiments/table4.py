@@ -6,6 +6,12 @@ sampling frames; the approximate filters provide the control variates.  The
 row reports the per-sample cost (filter + reference detector, using the
 paper's latency model) and the variance-reduction factor of the (multiple)
 control-variate estimator over plain sampling.
+
+Estimation goes through the unified planner/executor path: each query is
+planned into a filter cascade and handed to
+:meth:`~repro.query.executor.StreamingQueryExecutor.execute_aggregate`, which
+uses the cascade's primary filter as the control-variate source and batches
+the filter side of every sample draw.
 """
 
 from __future__ import annotations
@@ -16,13 +22,12 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.aggregates import (
-    AggregateMonitor,
     AggregateQuerySpec,
     per_predicate_controls,
     query_indicator_control,
 )
 from repro.experiments.context import ExperimentConfig, get_context
-from repro.query import QueryBuilder
+from repro.query import QueryBuilder, QueryPlanner, StreamingQueryExecutor
 from repro.query.ast import Query
 from repro.spatial.regions import Quadrant, quadrant_region
 
@@ -117,14 +122,17 @@ def run(
         else:
             controls = [query_indicator_control(query, tolerance=0)]
         aggregate = AggregateQuerySpec.from_query(query, controls)
-        monitor = AggregateMonitor(
-            detector=context.reference_detector(seed_offset=500),
-            frame_filter=context.od_filter,
+        cascade = QueryPlanner({"od": context.od_filter}).plan(query)
+        executor = StreamingQueryExecutor(context.reference_detector(seed_offset=500))
+        result = executor.execute_aggregate(
+            aggregate,
+            context.dataset.test,
+            cascade,
+            sample_size=sample_size,
+            repetitions=repetitions,
             seed=seed,
         )
-        reports = monitor.estimate_repeated(
-            aggregate, context.dataset.test, sample_size=sample_size, repetitions=repetitions
-        )
+        reports = result.reports
         plain_var = float(np.mean([r.plain.variance / r.num_samples for r in reports if r.num_samples]))
         cv_var = float(np.mean([r.control_variate.variance for r in reports]))
         if cv_var > 0:
@@ -139,6 +147,7 @@ def run(
             {
                 "query": spec.name,
                 "dataset": spec.dataset,
+                "cascade": result.cascade_description,
                 "controls": "multiple" if spec.multiple_controls else "single",
                 "plain_mean": round(float(np.mean([r.plain.mean for r in reports])), 4),
                 "cv_mean": round(float(np.mean([r.control_variate.mean for r in reports])), 4),

@@ -144,6 +144,10 @@ class FrameFilter(abc.ABC):
     name: str = "filter"
     #: simulated per-frame latency in milliseconds
     latency_ms: float = 0.0
+    #: whether predictions carry per-class counts and location grids;
+    #: ``False`` for total-count-only filters (OD-COF), whose predictions
+    #: only hold the pseudo-class ``"object"``
+    class_aware: bool = True
 
     def __init__(self, clock: SimulatedClock | None = None) -> None:
         self.clock = clock

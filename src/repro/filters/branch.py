@@ -96,8 +96,10 @@ class LinearBranchFilter(FrameFilter):
 
         The backbone features and grid-head scores of the whole batch are
         computed in stacked numpy operations (the hot path); the cheap
-        per-frame count aggregation reuses exactly the per-frame functions,
-        so every prediction is bit-identical to :meth:`predict`.
+        per-frame count aggregation reuses exactly the per-frame functions.
+        Predictions agree with :meth:`predict` to floating-point rounding
+        (the batched backbone sums in a different order, so scores can differ
+        at the last ulp; see ``FeatureBackbone.extract_batch``).
         """
         if not frames:
             return BatchPrediction(filter_name=self.name, predictions=())
@@ -139,6 +141,7 @@ class PooledCountFilter(FrameFilter):
 
     family = "branch"
     name = "pooled_count_filter"
+    class_aware = False
 
     def __init__(
         self,

@@ -34,9 +34,13 @@ from repro.query.planner import (
     order_cascade_by_selectivity,
 )
 from repro.query.executor import (
+    AggregateExecutionResult,
     ExecutionStats,
     QueryExecutionResult,
     StreamingQueryExecutor,
+    WindowAggregateEstimate,
+    WindowResult,
+    WindowStats,
     brute_force_execute,
 )
 
@@ -62,5 +66,9 @@ __all__ = [
     "StreamingQueryExecutor",
     "QueryExecutionResult",
     "ExecutionStats",
+    "WindowResult",
+    "WindowStats",
+    "WindowAggregateEstimate",
+    "AggregateExecutionResult",
     "brute_force_execute",
 ]

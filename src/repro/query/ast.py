@@ -107,7 +107,14 @@ class ColorPredicate(Predicate):
 
 @dataclass(frozen=True)
 class WindowSpec:
-    """A hopping window over the stream, in frames (``WINDOW HOPPING`` clause)."""
+    """A hopping window over the stream, in frames (``WINDOW HOPPING`` clause).
+
+    The executor materialises this as a
+    :class:`~repro.aggregates.windows.HoppingWindow` and segments the stream
+    into ``[start, start + size)`` ranges advancing by ``advance`` frames;
+    overlapping instances (``advance < size``) share per-frame filter and
+    detector work.
+    """
 
     size: int
     advance: int
@@ -117,6 +124,16 @@ class WindowSpec:
             raise ValueError(
                 f"window size and advance must be positive: {self.size}, {self.advance}"
             )
+
+    @property
+    def is_tumbling(self) -> bool:
+        """Whether consecutive windows abut without overlap (``advance == size``)."""
+        return self.advance == self.size
+
+    def describe(self) -> str:
+        if self.is_tumbling:
+            return f"TUMBLING (SIZE {self.size})"
+        return f"HOPPING (SIZE {self.size}, ADVANCE BY {self.advance})"
 
 
 @dataclass(frozen=True)
@@ -177,9 +194,5 @@ class Query:
 
     def describe(self) -> str:
         parts = " AND ".join(p.describe() for p in self.predicates)  # type: ignore[attr-defined]
-        window = (
-            f" WINDOW HOPPING (SIZE {self.window.size}, ADVANCE BY {self.window.advance})"
-            if self.window
-            else ""
-        )
+        window = f" WINDOW {self.window.describe()}" if self.window else ""
         return f"{self.name}: {parts}{window}"

@@ -22,6 +22,14 @@ Two execution modes share identical semantics:
   several times faster in wall-clock on the linear filters (see
   ``benchmarks/bench_batch_executor.py``).
 
+Both modes honor the query's ``WINDOW HOPPING`` clause: the stream is
+segmented into hopping-window instances, every frame covered by at least one
+window is filtered/verified exactly once (overlapping windows share the
+per-frame work), and the result carries one :class:`WindowResult` per window
+instance alongside the flat ``matched_frames``.  Aggregate monitoring queries
+go through :meth:`StreamingQueryExecutor.execute_aggregate`, which uses the
+planned cascade's primary filter as the control-variate source.
+
 Costs are accounted twice:
 
 * *simulated* cost, using the paper's measured per-component latencies
@@ -36,15 +44,24 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
+import numpy as np
+
+# Imported from the submodule (not the repro.aggregates package) so that the
+# aggregates -> query.ast -> query.executor import chain finds the window
+# types already initialised.
+from repro.aggregates.windows import HoppingWindow, WindowBounds
 from repro.cost import CostBreakdown, SimulatedClock
 from repro.detection.base import Detector
-from repro.filters.base import FilterPrediction
+from repro.filters.base import FilterPrediction, FrameFilter
 from repro.query.ast import Query
 from repro.query.evaluation import evaluate_predicates_on_detections
 from repro.query.planner import FilterCascade
 from repro.video.stream import VideoStream
+
+if TYPE_CHECKING:  # runtime import would be circular; see execute_aggregate
+    from repro.aggregates.monitor import AggregateQuerySpec, MonitoringReport
 
 
 @dataclass(frozen=True)
@@ -78,17 +95,63 @@ class ExecutionStats:
 
 
 @dataclass(frozen=True)
+class WindowStats:
+    """Per-window frame counts of a windowed execution.
+
+    These are cardinalities of the window's frame sets, not work counters:
+    overlapping windows share one filter evaluation and one verification per
+    frame, so attributing invocations per window would double-charge shared
+    work.  The execution-wide totals live in :class:`ExecutionStats`.
+    """
+
+    frames_scanned: int
+    frames_passed_filters: int
+
+
+@dataclass(frozen=True)
+class WindowResult:
+    """Per-window match set of a windowed query execution."""
+
+    bounds: WindowBounds
+    matched_frames: tuple[int, ...]
+    stats: WindowStats
+
+    @property
+    def num_matches(self) -> int:
+        return len(self.matched_frames)
+
+    @property
+    def match_fraction(self) -> float:
+        """Fraction of the window's scanned frames that matched (``nan`` if none scanned)."""
+        if self.stats.frames_scanned == 0:
+            return float("nan")
+        return self.num_matches / self.stats.frames_scanned
+
+
+@dataclass(frozen=True)
 class QueryExecutionResult:
-    """The outcome of executing a query over a stream."""
+    """The outcome of executing a query over a stream.
+
+    For windowed queries ``windows`` holds one :class:`WindowResult` per
+    hopping-window instance (in stream order); ``matched_frames`` stays the
+    flat match set over all frames covered by any window, so the union of the
+    per-window match sets always equals ``matched_frames``.  Un-windowed
+    executions have ``windows=None``.
+    """
 
     query_name: str
     cascade_description: str
     matched_frames: tuple[int, ...]
     stats: ExecutionStats
+    windows: tuple[WindowResult, ...] | None = None
 
     @property
     def num_matches(self) -> int:
         return len(self.matched_frames)
+
+    @property
+    def num_windows(self) -> int:
+        return len(self.windows) if self.windows is not None else 0
 
     # ------------------------------------------------------------------
     # Accuracy against a reference (brute-force) result
@@ -146,6 +209,44 @@ class QueryExecutionResult:
         return other / own
 
 
+@dataclass(frozen=True)
+class WindowAggregateEstimate:
+    """Aggregate estimates for one window instance of a windowed spec."""
+
+    bounds: WindowBounds
+    reports: tuple["MonitoringReport", ...]
+
+    @property
+    def cv_mean(self) -> float:
+        """Mean of the control-variate estimates across the repetitions."""
+        return float(np.mean([report.control_variate.mean for report in self.reports]))
+
+
+@dataclass(frozen=True)
+class AggregateExecutionResult:
+    """The outcome of executing an aggregate monitoring query.
+
+    Un-windowed specs produce ``reports`` (one
+    :class:`~repro.aggregates.monitor.MonitoringReport` per repetition) and
+    ``windows=None``; windowed specs produce one
+    :class:`WindowAggregateEstimate` per hopping-window instance and an empty
+    ``reports``.
+    """
+
+    query_name: str
+    cascade_description: str
+    filter_name: str
+    reports: tuple["MonitoringReport", ...]
+    windows: tuple[WindowAggregateEstimate, ...] | None = None
+
+    @property
+    def all_reports(self) -> tuple["MonitoringReport", ...]:
+        """Every report produced, whole-stream or per-window."""
+        if self.windows is None:
+            return self.reports
+        return tuple(report for window in self.windows for report in window.reports)
+
+
 class StreamingQueryExecutor:
     """Executes queries over a stream with an optional filter cascade."""
 
@@ -160,6 +261,7 @@ class StreamingQueryExecutor:
         cascade: FilterCascade | None = None,
         frame_indices: Sequence[int] | None = None,
         batch_size: int | None = None,
+        include_partial_windows: bool = True,
     ) -> QueryExecutionResult:
         """Run ``query`` over ``stream`` (optionally restricted to ``frame_indices``).
 
@@ -167,10 +269,38 @@ class StreamingQueryExecutor:
         ``batch_size=n`` processes the stream in chunks of ``n`` frames with
         vectorized filter batches.  Both modes produce identical matched
         frames and work counters.
+
+        When the query carries a ``WINDOW HOPPING`` clause the scan is
+        restricted to the frames covered by at least one window instance, each
+        frame is filtered/verified once no matter how many overlapping windows
+        contain it, and the result's ``windows`` field reports the per-window
+        match sets.  ``include_partial_windows`` controls whether a trailing
+        window shorter than the declared size is materialised; with the
+        default ``True`` the windows cover every stream frame whenever
+        ``advance <= size`` (with ``advance > size`` the inter-window gaps
+        are never scanned regardless).  Pass ``False`` for the paper's
+        fixed-size-window semantics, which silently drop the remainder — see
+        :meth:`~repro.aggregates.windows.HoppingWindow.windows_over`.
         """
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be positive: {batch_size}")
         indices = list(frame_indices) if frame_indices is not None else list(range(len(stream)))
+        window_bounds: list[WindowBounds] | None = None
+        if query.window is not None:
+            hopping = HoppingWindow(size=query.window.size, advance=query.window.advance)
+            window_bounds = list(
+                hopping.windows_over(len(stream), include_partial=include_partial_windows)
+            )
+            # An empty stream is an empty execution (as in the un-windowed
+            # path); a non-empty stream too short for even one window is a
+            # configuration error.
+            if not window_bounds and len(stream) > 0:
+                raise ValueError(
+                    f"window of size {query.window.size} produces no instances over "
+                    f"a {len(stream)}-frame stream; shrink the window or pass "
+                    "include_partial_windows=True"
+                )
+            indices = _restrict_to_coverage(indices, window_bounds)
         self.clock.reset()
         cascade = cascade or FilterCascade()
         # The cascade's filters charge their latency to our clock for the
@@ -195,22 +325,28 @@ class StreamingQueryExecutor:
             if hasattr(self.detector, "clock"):
                 self.detector.clock = previous_detector_clock
         elapsed = time.perf_counter() - started
-        matched, frames_passed, detector_invocations, filter_invocations = counters
+        matched, passed, filter_invocations = counters
 
         stats = ExecutionStats(
             frames_scanned=len(indices),
-            frames_passed_filters=frames_passed,
-            detector_invocations=detector_invocations,
+            frames_passed_filters=len(passed),
+            detector_invocations=len(passed),
             filter_invocations=filter_invocations,
             simulated_cost=self.clock.breakdown,
             wall_clock_seconds=elapsed,
             batch_size=batch_size,
+        )
+        windows = (
+            _partition_into_windows(window_bounds, indices, passed, matched)
+            if window_bounds is not None
+            else None
         )
         return QueryExecutionResult(
             query_name=query.name,
             cascade_description=cascade.describe(),
             matched_frames=tuple(matched),
             stats=stats,
+            windows=windows,
         )
 
     # ------------------------------------------------------------------
@@ -222,10 +358,9 @@ class StreamingQueryExecutor:
         stream: VideoStream,
         cascade: FilterCascade,
         indices: Sequence[int],
-    ) -> tuple[list[int], int, int, int]:
+    ) -> tuple[list[int], list[int], int]:
         matched: list[int] = []
-        frames_passed = 0
-        detector_invocations = 0
+        passed_indices: list[int] = []
         filter_invocations = 0
         for index in indices:
             frame = stream.frame(index)
@@ -241,12 +376,11 @@ class StreamingQueryExecutor:
                     break
             if not passed:
                 continue
-            frames_passed += 1
+            passed_indices.append(index)
             detections = self.detector.detect(frame)
-            detector_invocations += 1
             if evaluate_predicates_on_detections(query, detections):
                 matched.append(index)
-        return matched, frames_passed, detector_invocations, filter_invocations
+        return matched, passed_indices, filter_invocations
 
     def _run_batched(
         self,
@@ -255,7 +389,7 @@ class StreamingQueryExecutor:
         cascade: FilterCascade,
         indices: Sequence[int],
         batch_size: int,
-    ) -> tuple[list[int], int, int, int]:
+    ) -> tuple[list[int], list[int], int]:
         """Chunked execution: each cascade step narrows the survivor mask.
 
         A filter shared by several steps is evaluated at most once per frame
@@ -264,8 +398,7 @@ class StreamingQueryExecutor:
         evaluates it on, so both modes charge identical filter call counts.
         """
         matched: list[int] = []
-        frames_passed = 0
-        detector_invocations = 0
+        passed_indices: list[int] = []
         filter_invocations = 0
         for start in range(0, len(indices), batch_size):
             chunk = list(indices[start : start + batch_size])
@@ -287,12 +420,167 @@ class StreamingQueryExecutor:
                         per_filter[pos] = prediction
                 alive = [pos for pos in alive if step.passes(per_filter[pos])]
             for pos in alive:
-                frames_passed += 1
+                passed_indices.append(chunk[pos])
                 detections = self.detector.detect(frames[pos])
-                detector_invocations += 1
                 if evaluate_predicates_on_detections(query, detections):
                     matched.append(chunk[pos])
-        return matched, frames_passed, detector_invocations, filter_invocations
+        return matched, passed_indices, filter_invocations
+
+    # ------------------------------------------------------------------
+    # Aggregate monitoring queries
+    # ------------------------------------------------------------------
+    def execute_aggregate(
+        self,
+        spec: "AggregateQuerySpec",
+        stream: VideoStream,
+        cascade: FilterCascade | None = None,
+        *,
+        frame_filter: FrameFilter | None = None,
+        sample_size: int = 60,
+        repetitions: int = 1,
+        seed: int = 0,
+        include_partial_windows: bool = False,
+    ) -> AggregateExecutionResult:
+        """Estimate an aggregate monitoring query through the planner/executor API.
+
+        The control-variate source is the planned ``cascade``'s primary
+        filter (the same class-aware filter the cascade would use to skip
+        frames in exact execution), or an explicit ``frame_filter`` override.
+        Estimation itself is delegated to
+        :class:`~repro.aggregates.monitor.AggregateMonitor` seeded with
+        ``seed``, so for an un-windowed spec the reports are numerically
+        identical to calling ``AggregateMonitor.estimate`` directly with the
+        same seed — while the filter side of every sample batch runs as one
+        vectorized ``predict_batch`` call.
+
+        For a windowed spec (``spec.window`` set, e.g. parsed from a query's
+        ``WINDOW HOPPING`` clause) one estimate per window instance is
+        reported, each sampling ``sample_size`` frames uniformly within its
+        window.  ``include_partial_windows`` defaults to ``False`` here —
+        the paper's aggregate experiments use fixed-size windows so every
+        estimate averages over the same population size — unlike
+        :meth:`execute`, whose default covers the whole stream.
+        """
+        if repetitions < 1:
+            raise ValueError(f"repetitions must be positive: {repetitions}")
+        cascade = cascade or FilterCascade()
+        source = frame_filter if frame_filter is not None else cascade.primary_filter
+        if source is None:
+            raise ValueError(
+                "execute_aggregate needs a cascade with at least one filter "
+                "or an explicit frame_filter to use as the control-variate source"
+            )
+        # Deferred import: repro.aggregates.monitor imports repro.query at
+        # module load, so a top-level import here would be circular.
+        from repro.aggregates.monitor import AggregateMonitor
+
+        monitor = AggregateMonitor(
+            detector=self.detector, frame_filter=source, clock=self.clock, seed=seed
+        )
+        windows: tuple[WindowAggregateEstimate, ...] | None = None
+        reports: tuple["MonitoringReport", ...] = ()
+        if spec.window is not None:
+            hopping = HoppingWindow(size=spec.window.size, advance=spec.window.advance)
+            windows = tuple(
+                WindowAggregateEstimate(
+                    bounds=bounds,
+                    reports=tuple(
+                        monitor.estimate(spec, stream, sample_size, window=bounds)
+                        for _ in range(repetitions)
+                    ),
+                )
+                for bounds in hopping.windows_over(
+                    len(stream), include_partial=include_partial_windows
+                )
+            )
+            if not windows:
+                hint = (
+                    "shrink the window or pass include_partial_windows=True"
+                    if len(stream) > 0
+                    else "the stream is empty"
+                )
+                raise ValueError(
+                    f"window of size {spec.window.size} produces no instances over "
+                    f"a {len(stream)}-frame stream; {hint}"
+                )
+        else:
+            reports = tuple(
+                monitor.estimate(spec, stream, sample_size) for _ in range(repetitions)
+            )
+        return AggregateExecutionResult(
+            query_name=spec.name,
+            cascade_description=cascade.describe(),
+            filter_name=source.name,
+            reports=reports,
+            windows=windows,
+        )
+
+
+def _restrict_to_coverage(
+    indices: Sequence[int], window_bounds: Sequence[WindowBounds]
+) -> list[int]:
+    """Keep only the indices covered by at least one window.
+
+    Hopping windows arrive sorted by start, so their union collapses to a
+    short merged-interval list; membership is then one vectorized
+    ``searchsorted`` over the candidate indices rather than materialising a
+    per-frame set (overlapping windows would insert every frame
+    ``size/advance`` times).
+    """
+    if not window_bounds:
+        return []
+    merged: list[list[int]] = []
+    for bounds in window_bounds:
+        if merged and bounds.start <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], bounds.stop)
+        else:
+            merged.append([bounds.start, bounds.stop])
+    starts = np.asarray([interval[0] for interval in merged], dtype=np.int64)
+    stops = np.asarray([interval[1] for interval in merged], dtype=np.int64)
+    candidates = np.asarray(list(indices), dtype=np.int64)
+    positions = np.searchsorted(starts, candidates, side="right") - 1
+    covered = (positions >= 0) & (candidates < stops[np.clip(positions, 0, None)])
+    return [int(index) for index in candidates[covered]]
+
+
+def _partition_into_windows(
+    window_bounds: Sequence[WindowBounds],
+    indices: Sequence[int],
+    passed: Sequence[int],
+    matched: Sequence[int],
+) -> tuple[WindowResult, ...]:
+    """Split one shared scan into per-window results.
+
+    Every frame was filtered/verified exactly once; a frame covered by
+    several overlapping windows simply appears in each of their results.
+    Counting uses ``searchsorted`` on the sorted index arrays, so the split
+    costs O((W + N) log N) rather than W x N membership tests.
+    """
+    scanned_sorted = np.sort(np.asarray(list(indices), dtype=np.int64))
+    passed_sorted = np.sort(np.asarray(list(passed), dtype=np.int64))
+    matched_sorted = np.sort(np.asarray(list(matched), dtype=np.int64))
+
+    def _count_in(values: np.ndarray, bounds: WindowBounds) -> int:
+        return int(
+            np.searchsorted(values, bounds.stop, side="left")
+            - np.searchsorted(values, bounds.start, side="left")
+        )
+
+    results = []
+    for bounds in window_bounds:
+        lo = int(np.searchsorted(matched_sorted, bounds.start, side="left"))
+        hi = int(np.searchsorted(matched_sorted, bounds.stop, side="left"))
+        results.append(
+            WindowResult(
+                bounds=bounds,
+                matched_frames=tuple(int(index) for index in matched_sorted[lo:hi]),
+                stats=WindowStats(
+                    frames_scanned=_count_in(scanned_sorted, bounds),
+                    frames_passed_filters=_count_in(passed_sorted, bounds),
+                ),
+            )
+        )
+    return tuple(results)
 
 
 def brute_force_execute(

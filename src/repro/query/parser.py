@@ -230,7 +230,10 @@ def parse_query(
     for match in _ALIAS_RE.finditer(normalized):
         state.alias_to_box[match.group("alias")] = match.group("box")
 
-    # Window clause.
+    # Window clause.  The clause may appear before or after WHERE, so it is
+    # stripped first and the WHERE split is computed on the post-removal text
+    # (locating the split in the pre-removal string would garble the slice
+    # whenever WINDOW precedes WHERE).
     window = None
     window_match = _WINDOW_RE.search(normalized)
     if window_match:
@@ -238,7 +241,10 @@ def parse_query(
             size=int(window_match.group("size")),
             advance=int(window_match.group("advance")),
         )
-        normalized = normalized[: window_match.start()] + normalized[window_match.end() :]
+        normalized = " ".join(
+            (normalized[: window_match.start()] + normalized[window_match.end() :]).split()
+        )
+        upper = normalized.upper()
 
     # WHERE clause.
     where_index = upper.find(" WHERE ")

@@ -146,6 +146,25 @@ class FilterCascade:
                 seen.append(step.frame_filter)
         return seen
 
+    @property
+    def primary_filter(self) -> FrameFilter | None:
+        """The cascade's first *class-aware* filter (``None`` on an empty cascade).
+
+        This is the filter the planner built the cascade around, and what
+        :meth:`StreamingQueryExecutor.execute_aggregate` uses as the
+        control-variate source for aggregate estimation.  Count-only filters
+        (OD-COF) are skipped — their predictions carry no per-class output,
+        so controls built on them would be degenerate constants — which keeps
+        the choice stable when selectivity reordering moves a count-only step
+        to the front.  A cascade with no class-aware filter at all falls back
+        to its first filter.
+        """
+        filters = self.filters
+        for frame_filter in filters:
+            if frame_filter.class_aware:
+                return frame_filter
+        return filters[0] if filters else None
+
     def describe(self) -> str:
         return " -> ".join(step.name for step in self.steps) if self.steps else "(empty)"
 

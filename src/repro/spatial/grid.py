@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 import numpy as np
+from scipy import ndimage
 
 from repro.spatial.geometry import Box, Point
 
@@ -210,15 +211,19 @@ class GridMask:
         return GridMask(grid=self.grid, values=self.values & ~other.values)
 
     def dilated(self, distance: int) -> "GridMask":
-        """Mask grown by ``distance`` in Manhattan metric (tolerance matching)."""
+        """Mask grown by ``distance`` in Manhattan metric (tolerance matching).
+
+        Iterating a 4-connected binary dilation ``distance`` times grows each
+        occupied cell into its Manhattan ball of that radius — the same result
+        as unioning :func:`cells_within_manhattan` per cell, but vectorized.
+        """
         if distance <= 0:
             return GridMask(grid=self.grid, values=self.values.copy())
-        grown = np.zeros_like(self.values)
-        for row, col in self.occupied_cells():
-            for r, c in cells_within_manhattan(
-                (row, col), distance, self.grid.rows, self.grid.cols
-            ):
-                grown[r, c] = True
+        grown = ndimage.binary_dilation(
+            self.values,
+            structure=ndimage.generate_binary_structure(2, 1),
+            iterations=distance,
+        )
         return GridMask(grid=self.grid, values=grown)
 
     def restricted_to(self, region_mask: "GridMask") -> "GridMask":

@@ -18,6 +18,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.spatial.geometry import Box, Point
 from repro.spatial.grid import GridMask
 from repro.spatial.regions import Region
@@ -110,6 +112,22 @@ def evaluate_direction(
     return RelationResult(satisfied=separation > margin, separation=separation)
 
 
+def _check_grid_compatible(a: GridMask, b: GridMask) -> None:
+    """Reject mask pairs living on different grids.
+
+    The directional checks compute pixel margins from ``a``'s cell extent, so
+    masks on different-resolution (or different-frame) grids would silently
+    compare incomparable coordinates; raise instead, mirroring
+    :meth:`GridMask._check_compatible` for the set operations.
+    """
+    if a.grid != b.grid:
+        raise ValueError(
+            f"incompatible grids: {a.grid.shape} on "
+            f"{a.grid.frame_width}x{a.grid.frame_height} vs {b.grid.shape} on "
+            f"{b.grid.frame_width}x{b.grid.frame_height}"
+        )
+
+
 def evaluate_direction_on_grid(
     a: GridMask, b: GridMask, direction: Direction, margin_cells: float = 0.0
 ) -> RelationResult:
@@ -118,8 +136,10 @@ def evaluate_direction_on_grid(
     This is how the CLF filters pre-evaluate spatial constraints: each class
     is localised on the grid, the masks are reduced to centroids, and the
     directional relation is tested with an optional margin expressed in grid
-    cells.  Empty masks never satisfy a relation (there is nothing to relate).
+    cells.  Empty masks never satisfy a relation (there is nothing to relate);
+    masks on incompatible grids raise :class:`ValueError`.
     """
+    _check_grid_compatible(a, b)
     centroid_a = a.centroid()
     centroid_b = b.centroid()
     if centroid_a is None or centroid_b is None:
@@ -141,27 +161,35 @@ def grid_masks_satisfy_direction(
 
     The centroid-based :func:`evaluate_direction_on_grid` can miss
     configurations where e.g. one of several cars is left of the bus; the
-    existential variant checks every pair of occupied cells and is what the
-    query executor uses when a query asks whether *any* object of class A is
-    left of *any* object of class B.
+    existential variant asks whether *any* pair of occupied cells satisfies
+    the relation, which is what the query executor needs for "any object of
+    class A left of any object of class B".  Because cell centers are affine
+    in the cell index, the maximum pairwise separation is attained at the
+    extremal cells (e.g. for ``LEFT_OF``, ``max(center_b.x) - min(center_a.x)``),
+    so the check runs on four array extrema instead of comparing every cell
+    pair.  Masks on incompatible grids raise :class:`ValueError`.
     """
-    cells_a = a.occupied_cells()
-    cells_b = b.occupied_cells()
-    if not cells_a or not cells_b:
+    _check_grid_compatible(a, b)
+    rows_a, cols_a = np.nonzero(a.values)
+    rows_b, cols_b = np.nonzero(b.values)
+    if rows_a.size == 0 or rows_b.size == 0:
         return False
+    if direction is Direction.LEFT_OF:
+        max_separation = (int(cols_b.max()) - int(cols_a.min())) * a.grid.cell_width
+    elif direction is Direction.RIGHT_OF:
+        max_separation = (int(cols_a.max()) - int(cols_b.min())) * a.grid.cell_width
+    elif direction is Direction.ABOVE:
+        max_separation = (int(rows_b.max()) - int(rows_a.min())) * a.grid.cell_height
+    elif direction is Direction.BELOW:
+        max_separation = (int(rows_a.max()) - int(rows_b.min())) * a.grid.cell_height
+    else:  # pragma: no cover
+        raise ValueError(f"unknown direction: {direction}")
     cell_extent = (
         a.grid.cell_width
         if direction in (Direction.LEFT_OF, Direction.RIGHT_OF)
         else a.grid.cell_height
     )
-    margin = margin_cells * cell_extent
-    for row_a, col_a in cells_a:
-        center_a = a.grid.cell_center(row_a, col_a)
-        for row_b, col_b in cells_b:
-            center_b = b.grid.cell_center(row_b, col_b)
-            if _separation(center_a, center_b, direction) > margin:
-                return True
-    return False
+    return max_separation > margin_cells * cell_extent
 
 
 def inside_region(obj: Box | Point, region: Region, mode: str = "center") -> bool:

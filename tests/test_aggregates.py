@@ -118,6 +118,26 @@ def test_windows():
         WindowBounds(5, 5)
 
 
+def test_hopping_window_tail_coverage():
+    """Full-size-only windows silently drop the trailing remainder.
+
+    ``size=100`` over 250 frames never covers frames 200–249 by default;
+    ``include_partial=True`` (the executor's windowed-execution default)
+    appends one shorter window covering the tail.
+    """
+    hopping = HoppingWindow(size=100, advance=100)
+    covered: set[int] = set()
+    for window in hopping.windows_over(250):
+        covered.update(window.indices())
+    assert max(covered) == 199 and 200 not in covered
+    with_partial = list(hopping.windows_over(250, include_partial=True))
+    covered_partial: set[int] = set()
+    for window in with_partial:
+        covered_partial.update(window.indices())
+    assert covered_partial == set(range(250))
+    assert with_partial[-1] == WindowBounds(200, 250)
+
+
 def test_aggregate_monitor_end_to_end(trained_od_filter, tiny_jackson):
     detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=13)
     monitor = AggregateMonitor(detector=detector, frame_filter=trained_od_filter, seed=5)

@@ -55,6 +55,11 @@ def test_query_introspection():
     assert set(query.referenced_classes) == {"car", "bus", "person"}
     assert query.window == WindowSpec(100, 50)
     assert "q:" in query.describe()
+    assert "HOPPING (SIZE 100, ADVANCE BY 50)" in query.describe()
+    assert not WindowSpec(100, 50).is_tumbling
+    tumbling = WindowSpec(100, 100)
+    assert tumbling.is_tumbling
+    assert tumbling.describe() == "TUMBLING (SIZE 100)"
     with pytest.raises(ValueError):
         Query(predicates=())
     with pytest.raises(ValueError):
@@ -111,6 +116,34 @@ def test_parse_window_and_shorthand_predicates():
     assert region.region.box.x_max == pytest.approx(100)
     spatial = query.spatial_predicates[0]
     assert spatial.direction is Direction.RIGHT_OF  # ORDER(...)=LEFT means car right of bus
+
+
+@pytest.mark.parametrize("window_position", ["before_where", "after_where"])
+def test_parse_window_clause_in_either_position(window_position):
+    """Regression: WINDOW before WHERE used to garble the WHERE slice.
+
+    The WHERE split was located in the pre-window-removal text but applied to
+    the post-removal text, shifting the clause boundary by the length of the
+    WINDOW clause and failing with "no recognisable predicates".
+    """
+    window = "WINDOW HOPPING (SIZE 100, ADVANCE BY 50)"
+    where = "WHERE COUNT(car) >= 1 AND ORDER(car, bus) = RIGHT"
+    clauses = (
+        f"{window} {where}" if window_position == "before_where" else f"{where} {window}"
+    )
+    text = (
+        "SELECT cameraID, frameID "
+        "FROM (PROCESS inputVideo PRODUCE cameraID, frameID, vehBox1 USING VehDetector) "
+        f"{clauses}"
+    )
+    query = parse_query(text, name="windowed")
+    assert query.window == WindowSpec(100, 50)
+    counts = {p.class_name: p for p in query.count_predicates}
+    assert counts["car"].value == 1
+    spatial = query.spatial_predicates[0]
+    assert spatial.subject_class == "car"
+    assert spatial.reference_class == "bus"
+    assert spatial.direction is Direction.LEFT_OF
 
 
 def test_parse_errors():

@@ -109,3 +109,9 @@ def test_dilation_is_monotone(cells, distance):
     # Dilation never removes cells and grows with distance.
     assert np.all(dilated.values[mask.values])
     assert dilated.count >= mask.count
+    # The vectorized dilation equals the union of per-cell Manhattan balls.
+    reference = np.zeros((8, 8), dtype=bool)
+    for r, c in mask.occupied_cells():
+        for rr, cc in cells_within_manhattan((r, c), distance, 8, 8):
+            reference[rr, cc] = True
+    assert np.array_equal(dilated.values, reference)

@@ -73,6 +73,49 @@ def test_grid_direction_checks():
     assert not grid_masks_satisfy_direction(empty, right_mask, Direction.LEFT_OF)
 
 
+def test_grid_direction_checks_reject_incompatible_grids():
+    """Masks on different grids must raise, not silently compare coordinates."""
+    grid = Grid(rows=10, cols=10, frame_width=100, frame_height=100)
+    coarse = Grid(rows=5, cols=5, frame_width=100, frame_height=100)
+    same_shape_other_frame = Grid(rows=10, cols=10, frame_width=200, frame_height=100)
+    mask = _mask_with(grid, [(5, 1)])
+    for other_grid in (coarse, same_shape_other_frame):
+        other = _mask_with(other_grid, [(1, 4)])
+        with pytest.raises(ValueError):
+            evaluate_direction_on_grid(mask, other, Direction.LEFT_OF)
+        with pytest.raises(ValueError):
+            grid_masks_satisfy_direction(mask, other, Direction.LEFT_OF)
+
+
+@given(
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=0, max_size=8),
+    st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=0, max_size=8),
+    st.sampled_from(list(Direction)),
+    st.floats(0.0, 3.0),
+)
+def test_extremal_direction_check_matches_pairwise_loop(cells_a, cells_b, direction, margin):
+    """The extremal-cell check must agree with comparing every cell pair."""
+    grid = Grid(rows=8, cols=8, frame_width=96, frame_height=64)
+    mask_a = _mask_with(grid, cells_a)
+    mask_b = _mask_with(grid, cells_b)
+    cell_extent = (
+        grid.cell_width
+        if direction in (Direction.LEFT_OF, Direction.RIGHT_OF)
+        else grid.cell_height
+    )
+    expected = any(
+        evaluate_direction(
+            grid.cell_center(ra, ca),
+            grid.cell_center(rb, cb),
+            direction,
+            margin=margin * cell_extent,
+        ).satisfied
+        for ra, ca in mask_a.occupied_cells()
+        for rb, cb in mask_b.occupied_cells()
+    )
+    assert grid_masks_satisfy_direction(mask_a, mask_b, direction, margin_cells=margin) == expected
+
+
 def test_quadrants_partition_the_frame():
     regions = [quadrant_region(q, 100, 100) for q in Quadrant]
     assert sum(r.box.area for r in regions) == pytest.approx(100 * 100)
