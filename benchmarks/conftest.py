@@ -37,3 +37,33 @@ def print_rows(title: str, text: str) -> None:
     """Echo a reproduced table to stdout (shown with ``pytest -s``)."""
     print(f"\n=== {title} ===")
     print(text)
+
+
+def count_filter_frames(frame_filter, counts: dict[int, int]):
+    """Instrument a filter to count per-frame evaluations (by frame index).
+
+    Both ``predict`` and ``predict_batch`` bump ``counts[frame.index]``.
+    Returns a restore callback that removes the instrumentation.  Shared by
+    the multi-query benchmark and test suite to assert the at-most-once-per-
+    frame sharing guarantee.
+    """
+    original_predict = frame_filter.predict
+    original_batch = frame_filter.predict_batch
+
+    def counting_predict(frame):
+        counts[frame.index] = counts.get(frame.index, 0) + 1
+        return original_predict(frame)
+
+    def counting_batch(frames):
+        for frame in frames:
+            counts[frame.index] = counts.get(frame.index, 0) + 1
+        return original_batch(frames)
+
+    frame_filter.predict = counting_predict
+    frame_filter.predict_batch = counting_batch
+
+    def restore():
+        del frame_filter.predict
+        del frame_filter.predict_batch
+
+    return restore

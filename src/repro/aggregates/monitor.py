@@ -181,7 +181,10 @@ class AggregateMonitor:
         contains both the plain sampling estimate and the control-variate
         estimate; with multiple controls the multiple-CV estimator is used.
         """
-        self.clock.reset()
+        # Delta-snapshot accounting rather than a reset, so a caller-supplied
+        # shared clock keeps its history across estimates (same contract as
+        # StreamingQueryExecutor.execute).
+        cost_baseline = self.clock.snapshot()
         previous_filter_clock = self.frame_filter.clock
         previous_detector_clock = getattr(self.detector, "clock", None)
         self.frame_filter.clock = self.clock
@@ -213,9 +216,8 @@ class AggregateMonitor:
             cv = multiple_control_variates_estimate(exact_values, controls)
 
         num_samples = len(chosen)
-        per_frame_ms = (
-            self.clock.elapsed_ms / num_samples if num_samples else 0.0
-        )
+        estimate_ms = self.clock.delta_since(cost_baseline).total_ms
+        per_frame_ms = estimate_ms / num_samples if num_samples else 0.0
         return MonitoringReport(
             query_name=spec.name,
             plain=plain,

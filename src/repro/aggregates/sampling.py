@@ -28,7 +28,14 @@ class SampleEstimate:
 def sample_frame_indices(
     num_frames: int, sample_size: int, rng: np.random.Generator, replace: bool = False
 ) -> np.ndarray:
-    """Uniformly sample frame indices from ``[0, num_frames)``."""
+    """Uniformly sample frame indices from ``[0, num_frames)``.
+
+    When drawing without replacement (the default), ``sample_size`` is
+    clamped to ``num_frames``: asking for more samples than there are frames
+    yields one exhaustive sample of every frame rather than an error, so
+    small windows (e.g. the tail window of a hopping-window spec) estimate
+    from their full population.
+    """
     if num_frames <= 0:
         raise ValueError(f"num_frames must be positive: {num_frames}")
     if sample_size <= 0:

@@ -61,6 +61,80 @@ class CostBreakdown:
             )
         return merged
 
+    def copy(self) -> "CostBreakdown":
+        """An independent copy (mutating the copy leaves the original intact)."""
+        return CostBreakdown(
+            per_component_ms=dict(self.per_component_ms),
+            per_component_calls=dict(self.per_component_calls),
+        )
+
+    def minus(self, earlier: "CostBreakdown") -> "CostBreakdown":
+        """The cost accumulated since ``earlier`` (a prior snapshot of this clock).
+
+        Components whose delta is zero are dropped, so a delta over a period
+        in which a component never ran does not mention it at all.  ``earlier``
+        must be a prefix of this breakdown (same clock, taken earlier) —
+        negative deltas indicate a reset in between and raise.
+        """
+        delta = CostBreakdown()
+        missing = set(earlier.per_component_ms) - set(self.per_component_ms)
+        if missing:
+            raise ValueError(
+                f"snapshot is not a prefix of this breakdown (components {sorted(missing)} "
+                "disappeared); was the clock reset between the snapshot and now?"
+            )
+        for name, ms in self.per_component_ms.items():
+            diff_ms = ms - earlier.per_component_ms.get(name, 0.0)
+            diff_calls = self.per_component_calls.get(name, 0) - earlier.per_component_calls.get(name, 0)
+            if diff_ms < -1e-9 or diff_calls < 0:
+                raise ValueError(
+                    f"snapshot is not a prefix of this breakdown (component {name!r} "
+                    "shrank); was the clock reset between the snapshot and now?"
+                )
+            if diff_calls or diff_ms > 0.0:
+                delta.per_component_ms[name] = diff_ms
+                delta.per_component_calls[name] = diff_calls
+        return delta
+
+
+@dataclass(frozen=True)
+class SharedCostReport:
+    """Cost accounting for a shared multi-query execution.
+
+    ``shared`` is what the shared scan actually charged — every frame
+    materialised once, every shared filter evaluated at most once per frame,
+    the detector run at most once per frame — while ``attributed`` holds, per
+    query, the cost that query would have paid running alone over the same
+    frames (its cascade's filter invocations plus the detector on its own
+    cascade survivors).  The gap between the attributed total and the shared
+    total is the work the sharing eliminated.
+    """
+
+    shared: CostBreakdown
+    attributed: dict[str, CostBreakdown] = field(default_factory=dict)
+
+    @property
+    def standalone_ms(self) -> float:
+        """Total cost of running every query independently (sum of attributions)."""
+        return sum(breakdown.total_ms for breakdown in self.attributed.values())
+
+    @property
+    def shared_ms(self) -> float:
+        return self.shared.total_ms
+
+    @property
+    def savings_ratio(self) -> float:
+        """How many times cheaper the shared run is than N independent runs.
+
+        ``1.0`` when both sides are free (nothing executed, nothing saved);
+        ``inf`` when attributed work exists but the shared run charged
+        nothing (cannot happen with real components, but keeps the ratio
+        total).
+        """
+        if self.shared_ms <= 0.0:
+            return 1.0 if self.standalone_ms <= 0.0 else float("inf")
+        return self.standalone_ms / self.shared_ms
+
 
 class SimulatedClock:
     """Accumulates the simulated cost of detector / filter invocations."""
@@ -85,6 +159,20 @@ class SimulatedClock:
     def reset(self) -> None:
         """Discard all accumulated cost."""
         self._breakdown = CostBreakdown()
+
+    def snapshot(self) -> CostBreakdown:
+        """A frozen copy of the current breakdown, for later delta accounting.
+
+        Callers that share one clock across several executions take a
+        snapshot before each run and compute the run's own cost with
+        :meth:`CostBreakdown.minus`, instead of resetting the clock (which
+        would silently wipe the other runs' accumulated cost).
+        """
+        return self._breakdown.copy()
+
+    def delta_since(self, snapshot: CostBreakdown) -> CostBreakdown:
+        """The cost accumulated since ``snapshot`` (see :meth:`snapshot`)."""
+        return self._breakdown.minus(snapshot)
 
     @property
     def breakdown(self) -> CostBreakdown:

@@ -102,50 +102,93 @@ def build_query_specs() -> list[QuerySpec]:
     ]
 
 
+def _plan(context, spec: QuerySpec, query: Query):
+    planner = QueryPlanner(
+        context.filters,
+        PlannerConfig(
+            count_tolerance=spec.count_tolerance,
+            location_dilation=spec.location_dilation,
+        ),
+    )
+    return planner.plan(query)
+
+
+def _make_row(spec: QuerySpec, filtered, brute) -> dict[str, object]:
+    accuracy = filtered.accuracy_against(brute.matched_frames)
+    return {
+        "query": spec.name,
+        "dataset": spec.dataset,
+        "cascade": filtered.cascade_description,
+        "paper_filter_combo": spec.paper_filter_combo,
+        "matches": filtered.num_matches,
+        "true_matches": brute.num_matches,
+        "accuracy": round(accuracy["accuracy"], 3),
+        "f1": round(accuracy["f1"], 3),
+        "paper_accuracy": spec.paper_accuracy,
+        "filtered_time_s": round(filtered.stats.simulated_seconds, 2),
+        "brute_force_time_s": round(brute.stats.simulated_seconds, 2),
+        "speedup": round(filtered.speedup_against(brute), 1),
+        "filter_selectivity": round(filtered.stats.filter_selectivity, 4),
+        "frames": filtered.stats.frames_scanned,
+        "paper_time_s": spec.paper_time_seconds,
+    }
+
+
 def run(
     config: ExperimentConfig | None = None,
     query_names: tuple[str, ...] | None = None,
+    shared: bool = False,
 ) -> list[dict[str, object]]:
-    """Execute q1–q7 (or a subset) and report one Table III row per query."""
+    """Execute q1–q7 (or a subset) and report one Table III row per query.
+
+    With ``shared=True`` the queries of each dataset run through
+    :meth:`~repro.query.executor.StreamingQueryExecutor.execute_many` — one
+    scan per dataset serving all of its queries, with per-query stats
+    attributed from the shared run (so the per-row numbers are the same as an
+    independent run) plus ``shared_group_time_s`` / ``shared_savings``
+    columns reporting what the concurrent workload actually cost.
+    """
+    specs = [
+        spec
+        for spec in build_query_specs()
+        if query_names is None or spec.name in query_names
+    ]
     rows: list[dict[str, object]] = []
-    for spec in build_query_specs():
-        if query_names is not None and spec.name not in query_names:
-            continue
+    if shared:
+        by_dataset: dict[str, list[QuerySpec]] = {}
+        for spec in specs:
+            by_dataset.setdefault(spec.dataset, []).append(spec)
+        for dataset, group in by_dataset.items():
+            context = get_context(dataset, config)
+            queries = [spec.build(context) for spec in group]
+            cascades = [
+                _plan(context, spec, query) for spec, query in zip(group, queries)
+            ]
+            executor = StreamingQueryExecutor(context.reference_detector(seed_offset=300))
+            multi = executor.execute_many(queries, context.dataset.test, cascades)
+            # The brute-force baseline shares its single full-detection pass
+            # across the group as well (empty cascades = annotate every frame).
+            brute_multi = StreamingQueryExecutor(
+                context.reference_detector(seed_offset=300)
+            ).execute_many(queries, context.dataset.test)
+            group_time = round(multi.shared.cost.shared_ms / 1000.0, 2)
+            group_savings = round(multi.shared.savings_ratio, 2)
+            for spec, filtered, brute in zip(group, multi, brute_multi):
+                row = _make_row(spec, filtered, brute)
+                row["shared_group_time_s"] = group_time
+                row["shared_savings"] = group_savings
+                rows.append(row)
+        return rows
+    for spec in specs:
         context = get_context(spec.dataset, config)
         query = spec.build(context)
-        planner = QueryPlanner(
-            context.filters,
-            PlannerConfig(
-                count_tolerance=spec.count_tolerance,
-                location_dilation=spec.location_dilation,
-            ),
-        )
-        cascade = planner.plan(query)
+        cascade = _plan(context, spec, query)
         executor = StreamingQueryExecutor(context.reference_detector(seed_offset=300))
         filtered = executor.execute(query, context.dataset.test, cascade)
         brute = brute_force_execute(
             query, context.dataset.test, context.reference_detector(seed_offset=300)
         )
-        accuracy = filtered.accuracy_against(brute.matched_frames)
-        rows.append(
-            {
-                "query": spec.name,
-                "dataset": spec.dataset,
-                "cascade": cascade.describe(),
-                "paper_filter_combo": spec.paper_filter_combo,
-                "matches": filtered.num_matches,
-                "true_matches": brute.num_matches,
-                "accuracy": round(accuracy["accuracy"], 3),
-                "f1": round(accuracy["f1"], 3),
-                "paper_accuracy": spec.paper_accuracy,
-                "filtered_time_s": round(filtered.stats.simulated_seconds, 2),
-                "brute_force_time_s": round(brute.stats.simulated_seconds, 2),
-                "speedup": round(filtered.speedup_against(brute), 1),
-                "filter_selectivity": round(filtered.stats.filter_selectivity, 4),
-                "frames": filtered.stats.frames_scanned,
-                "paper_time_s": spec.paper_time_seconds,
-            }
-        )
+        rows.append(_make_row(spec, filtered, brute))
     return rows
 
 

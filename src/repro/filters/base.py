@@ -152,6 +152,22 @@ class FrameFilter(abc.ABC):
     def __init__(self, clock: SimulatedClock | None = None) -> None:
         self.clock = clock
 
+    @property
+    def identity(self) -> tuple:
+        """Stable hashable key identifying this filter for prediction sharing.
+
+        Two filters with the same identity are promised to produce identical
+        predictions for the same frame, so multi-query execution may evaluate
+        one of them and reuse the prediction wherever the other appears (see
+        :meth:`~repro.query.executor.StreamingQueryExecutor.execute_many`).
+        The default is per-instance — distinct instances of the same filter
+        class may carry different trained weights, so only the *same object*
+        shares by default.  Subclasses that can prove value-equality (e.g.
+        filters loaded from the same weights file) may override this with a
+        content-derived key.
+        """
+        return (type(self).__qualname__, self.name, id(self))
+
     @abc.abstractmethod
     def predict(self, frame: Frame) -> FilterPrediction:
         """Estimate counts and locations for ``frame``."""

@@ -31,12 +31,16 @@ from repro.query.planner import (
     PlannerConfig,
     QueryPlanner,
     measure_cascade_selectivity,
+    merge_cascade_steps,
     order_cascade_by_selectivity,
+    shared_step_key,
 )
 from repro.query.executor import (
     AggregateExecutionResult,
     ExecutionStats,
+    MultiQueryExecutionResult,
     QueryExecutionResult,
+    SharedExecutionStats,
     StreamingQueryExecutor,
     WindowAggregateEstimate,
     WindowResult,
@@ -62,9 +66,13 @@ __all__ = [
     "FilterCascade",
     "CascadeStep",
     "measure_cascade_selectivity",
+    "merge_cascade_steps",
     "order_cascade_by_selectivity",
+    "shared_step_key",
     "StreamingQueryExecutor",
     "QueryExecutionResult",
+    "MultiQueryExecutionResult",
+    "SharedExecutionStats",
     "ExecutionStats",
     "WindowResult",
     "WindowStats",

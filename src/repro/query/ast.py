@@ -28,6 +28,8 @@ class ComparisonOperator(enum.Enum):
     EQUAL = "="
     AT_LEAST = ">="
     AT_MOST = "<="
+    GREATER = ">"
+    LESS = "<"
 
     def compare(self, left: int, right: int) -> bool:
         if self is ComparisonOperator.EQUAL:
@@ -36,6 +38,10 @@ class ComparisonOperator(enum.Enum):
             return left >= right
         if self is ComparisonOperator.AT_MOST:
             return left <= right
+        if self is ComparisonOperator.GREATER:
+            return left > right
+        if self is ComparisonOperator.LESS:
+            return left < right
         raise ValueError(f"unknown operator {self}")  # pragma: no cover
 
 

@@ -53,6 +53,16 @@ class _CountClause:
             CountPredicate(self.class_name, ComparisonOperator.AT_MOST, value)
         )
 
+    def greater_than(self, value: int) -> "QueryBuilder":
+        return self.builder._add(
+            CountPredicate(self.class_name, ComparisonOperator.GREATER, value)
+        )
+
+    def less_than(self, value: int) -> "QueryBuilder":
+        return self.builder._add(
+            CountPredicate(self.class_name, ComparisonOperator.LESS, value)
+        )
+
 
 @dataclass
 class _SpatialClause:

@@ -30,6 +30,15 @@ instance alongside the flat ``matched_frames``.  Aggregate monitoring queries
 go through :meth:`StreamingQueryExecutor.execute_aggregate`, which uses the
 planned cascade's primary filter as the control-variate source.
 
+:meth:`StreamingQueryExecutor.execute_many` applies the same shared-work
+principle one level up, across *queries*: N queries run in one scan in which
+each frame is materialised once, a filter shared by several queries'
+cascades is evaluated at most once per frame, and the detector runs at most
+once per frame on the union of all queries' cascade survivors — with
+per-query results identical to running each query alone and a
+:class:`~repro.cost.SharedCostReport` separating the work charged once from
+what each query would have paid standalone.
+
 Costs are accounted twice:
 
 * *simulated* cost, using the paper's measured per-component latencies
@@ -52,12 +61,12 @@ import numpy as np
 # aggregates -> query.ast -> query.executor import chain finds the window
 # types already initialised.
 from repro.aggregates.windows import HoppingWindow, WindowBounds
-from repro.cost import CostBreakdown, SimulatedClock
+from repro.cost import CostBreakdown, SharedCostReport, SimulatedClock
 from repro.detection.base import Detector
 from repro.filters.base import FilterPrediction, FrameFilter
 from repro.query.ast import Query
 from repro.query.evaluation import evaluate_predicates_on_detections
-from repro.query.planner import FilterCascade
+from repro.query.planner import FilterCascade, merge_cascade_steps
 from repro.video.stream import VideoStream
 
 if TYPE_CHECKING:  # runtime import would be circular; see execute_aggregate
@@ -210,6 +219,68 @@ class QueryExecutionResult:
 
 
 @dataclass(frozen=True)
+class SharedExecutionStats:
+    """Actual work performed by one shared multi-query scan.
+
+    Unlike the per-query :class:`ExecutionStats` (which attribute to each
+    query the work it would have paid running alone), these counters are what
+    the shared run really did: every frame materialised once, every shared
+    filter evaluated at most once per frame, the detector run at most once
+    per frame on the union of all queries' cascade survivors.
+    """
+
+    #: distinct frames materialised and scanned (union over all queries)
+    frames_scanned: int
+    #: detector runs — one per frame that survived *some* query's cascade
+    detector_invocations: int
+    #: filter frame-evaluations actually performed across all shared filters
+    filter_computations: int
+    #: cascade steps after cross-query dedup / before dedup
+    unique_steps: int
+    total_steps: int
+    cost: SharedCostReport
+    wall_clock_seconds: float
+    batch_size: int | None = None
+
+    @property
+    def savings_ratio(self) -> float:
+        """Simulated-cost ratio of N independent runs over the shared run."""
+        return self.cost.savings_ratio
+
+
+@dataclass(frozen=True)
+class MultiQueryExecutionResult:
+    """The outcome of executing several queries in one shared scan.
+
+    ``results[i]`` corresponds to ``queries[i]`` of the
+    :meth:`StreamingQueryExecutor.execute_many` call and is bit-identical in
+    matched frames and work counters to running that query alone; ``shared``
+    reports the work the one scan actually performed.
+    """
+
+    results: tuple[QueryExecutionResult, ...]
+    shared: SharedExecutionStats
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index: int) -> QueryExecutionResult:
+        return self.results[index]
+
+    def result_for(self, query_name: str) -> QueryExecutionResult:
+        """The result of the (single) query named ``query_name``."""
+        found = [result for result in self.results if result.query_name == query_name]
+        if not found:
+            raise KeyError(f"no query named {query_name!r} in this execution")
+        if len(found) > 1:
+            raise KeyError(f"{len(found)} queries named {query_name!r}; index by position")
+        return found[0]
+
+
+@dataclass(frozen=True)
 class WindowAggregateEstimate:
     """Aggregate estimates for one window instance of a windowed spec."""
 
@@ -285,23 +356,13 @@ class StreamingQueryExecutor:
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be positive: {batch_size}")
         indices = list(frame_indices) if frame_indices is not None else list(range(len(stream)))
-        window_bounds: list[WindowBounds] | None = None
-        if query.window is not None:
-            hopping = HoppingWindow(size=query.window.size, advance=query.window.advance)
-            window_bounds = list(
-                hopping.windows_over(len(stream), include_partial=include_partial_windows)
-            )
-            # An empty stream is an empty execution (as in the un-windowed
-            # path); a non-empty stream too short for even one window is a
-            # configuration error.
-            if not window_bounds and len(stream) > 0:
-                raise ValueError(
-                    f"window of size {query.window.size} produces no instances over "
-                    f"a {len(stream)}-frame stream; shrink the window or pass "
-                    "include_partial_windows=True"
-                )
+        window_bounds = _window_bounds_for(query, stream, include_partial_windows)
+        if window_bounds is not None:
             indices = _restrict_to_coverage(indices, window_bounds)
-        self.clock.reset()
+        # Cost is measured as a delta against a snapshot rather than by
+        # resetting the clock: a caller-supplied shared clock (e.g. one
+        # accumulating cost across several executions) keeps its history.
+        cost_baseline = self.clock.snapshot()
         cascade = cascade or FilterCascade()
         # The cascade's filters charge their latency to our clock for the
         # duration of this execution.
@@ -332,7 +393,7 @@ class StreamingQueryExecutor:
             frames_passed_filters=len(passed),
             detector_invocations=len(passed),
             filter_invocations=filter_invocations,
-            simulated_cost=self.clock.breakdown,
+            simulated_cost=self.clock.delta_since(cost_baseline),
             wall_clock_seconds=elapsed,
             batch_size=batch_size,
         )
@@ -350,6 +411,263 @@ class StreamingQueryExecutor:
         )
 
     # ------------------------------------------------------------------
+    # Multi-query shared execution
+    # ------------------------------------------------------------------
+    def execute_many(
+        self,
+        queries: Sequence[Query],
+        stream: VideoStream,
+        cascades: Sequence[FilterCascade | None] | None = None,
+        *,
+        planner=None,
+        frame_indices: Sequence[int] | None = None,
+        batch_size: int | None = None,
+        include_partial_windows: bool = True,
+    ) -> MultiQueryExecutionResult:
+        """Run several queries over ``stream`` in one shared scan.
+
+        Work that independent :meth:`execute` calls would repeat is performed
+        once:
+
+        * each frame is materialised (rendered) once and reused by every
+          query;
+        * a filter appearing in several queries' cascades is evaluated at
+          most once per frame — predictions live in a cross-query per-chunk
+          cache keyed by the filter's
+          :attr:`~repro.filters.base.FrameFilter.identity`, and cascade steps
+          that :func:`~repro.query.planner.merge_cascade_steps` proves
+          semantically identical share their pass/fail outcome as well;
+        * the detector runs at most once per frame, on the union of all
+          queries' cascade survivors, and the resulting detections are
+          evaluated against each interested query's predicates.
+
+        ``cascades[i]`` is the cascade for ``queries[i]`` (``None`` entries
+        mean no filtering).  When ``cascades`` is omitted entirely, a
+        ``planner`` (:class:`~repro.query.planner.QueryPlanner`) may be
+        supplied to plan one cascade per query; with neither, every query
+        runs brute force — still sharing frames and detector runs.
+
+        Per-query results have exact parity with running each query alone:
+        the same matched frames and windows, and per-query work counters /
+        simulated cost *attributed* from the shared run (what the query would
+        have paid standalone).  The actual — smaller — cost of the shared
+        scan is reported once in ``shared``, whose
+        :class:`~repro.cost.SharedCostReport` separates work charged once
+        from the per-query attributions.  Only ``wall_clock_seconds`` is not
+        attributable: each per-query result carries the whole shared run's
+        wall clock.
+
+        Windowed queries partition the shared scan exactly as in
+        :meth:`execute`: each windowed query is restricted to the frames its
+        windows cover and its matches are split into per-window results;
+        un-windowed queries in the same call scan every frame.
+        """
+        queries = list(queries)
+        if not queries:
+            raise ValueError("execute_many needs at least one query")
+        if batch_size is not None and batch_size < 1:
+            raise ValueError(f"batch_size must be positive: {batch_size}")
+        if cascades is None:
+            if planner is not None:
+                query_cascades = [planner.plan(query) for query in queries]
+            else:
+                query_cascades = [FilterCascade() for _ in queries]
+        else:
+            query_cascades = [cascade or FilterCascade() for cascade in cascades]
+            if len(query_cascades) != len(queries):
+                raise ValueError(
+                    f"{len(queries)} queries but {len(query_cascades)} cascades"
+                )
+        base_indices = (
+            list(frame_indices) if frame_indices is not None else list(range(len(stream)))
+        )
+
+        # Per-query frame coverage: windowed queries restrict to their
+        # windows (same semantics and same error as execute()).
+        per_query_windows: list[list[WindowBounds] | None] = []
+        per_query_indices: list[list[int]] = []
+        for query in queries:
+            bounds = _window_bounds_for(query, stream, include_partial_windows)
+            per_query_windows.append(bounds)
+            per_query_indices.append(
+                _restrict_to_coverage(base_indices, bounds)
+                if bounds is not None
+                else list(base_indices)
+            )
+        member_sets = [set(indices) for indices in per_query_indices]
+        union_indices = [
+            index
+            for index in base_indices
+            if any(index in members for members in member_sets)
+        ]
+
+        unique_steps, assignments = merge_cascade_steps(query_cascades)
+
+        # Every distinct filter instance and the detector charge this
+        # executor's clock for the duration of the shared run.
+        distinct_filters: list[FrameFilter] = []
+        for cascade in query_cascades:
+            for frame_filter in cascade.filters:
+                if all(frame_filter is not existing for existing in distinct_filters):
+                    distinct_filters.append(frame_filter)
+        previous_clocks = [(frame_filter, frame_filter.clock) for frame_filter in distinct_filters]
+        for frame_filter in distinct_filters:
+            frame_filter.clock = self.clock
+        previous_detector_clock = getattr(self.detector, "clock", None)
+        if hasattr(self.detector, "clock"):
+            self.detector.clock = self.clock
+
+        cost_baseline = self.clock.snapshot()
+        num_queries = len(queries)
+        matched: list[list[int]] = [[] for _ in range(num_queries)]
+        passed: list[list[int]] = [[] for _ in range(num_queries)]
+        filter_invocations = [0] * num_queries
+        # per query: (filter component name, latency) -> attributed call count
+        attributed_calls: list[dict[tuple[str, float], int]] = [
+            {} for _ in range(num_queries)
+        ]
+        shared_filter_computations = 0
+        shared_detector_invocations = 0
+        chunk_size = batch_size if batch_size is not None else 1
+
+        started = time.perf_counter()
+        try:
+            for start in range(0, len(union_indices), chunk_size):
+                chunk = union_indices[start : start + chunk_size]
+                # (a) one materialisation per frame, shared by every query
+                frames = {index: stream.frame(index) for index in chunk}
+                # (b) cross-query caches: predictions by filter identity,
+                # check outcomes by deduped step
+                predictions: dict[tuple, dict[int, FilterPrediction]] = {}
+                outcomes: dict[tuple[int, int], bool] = {}
+                alive_sets: list[set[int]] = []
+                for position, (cascade, step_positions) in enumerate(
+                    zip(query_cascades, assignments)
+                ):
+                    alive = [index for index in chunk if index in member_sets[position]]
+                    counted: dict[int, set[tuple]] = {}
+                    for step, unique_position in zip(cascade, step_positions):
+                        if not alive:
+                            break
+                        identity = step.frame_filter.identity
+                        per_filter = predictions.setdefault(identity, {})
+                        missing = [index for index in alive if index not in per_filter]
+                        if missing:
+                            batch = step.frame_filter.predict_batch(
+                                [frames[index] for index in missing]
+                            )
+                            shared_filter_computations += len(missing)
+                            for index, prediction in zip(missing, batch):
+                                per_filter[index] = prediction
+                        # Attribute one invocation per (query, frame, filter),
+                        # exactly as a standalone run of this query would pay.
+                        component = (step.frame_filter.name, step.frame_filter.latency_ms)
+                        for index in alive:
+                            seen = counted.setdefault(index, set())
+                            if identity not in seen:
+                                seen.add(identity)
+                                filter_invocations[position] += 1
+                                attributed_calls[position][component] = (
+                                    attributed_calls[position].get(component, 0) + 1
+                                )
+                        still_alive = []
+                        for index in alive:
+                            outcome_key = (unique_position, index)
+                            if outcome_key not in outcomes:
+                                outcomes[outcome_key] = step.passes(per_filter[index])
+                            if outcomes[outcome_key]:
+                                still_alive.append(index)
+                        alive = still_alive
+                    passed[position].extend(alive)
+                    alive_sets.append(set(alive))
+                # (c) detector once per union survivor; detections evaluated
+                # against each interested query's predicates
+                for index in chunk:
+                    interested = [
+                        position
+                        for position in range(num_queries)
+                        if index in alive_sets[position]
+                    ]
+                    if not interested:
+                        continue
+                    detections = self.detector.detect(frames[index])
+                    shared_detector_invocations += 1
+                    for position in interested:
+                        if evaluate_predicates_on_detections(queries[position], detections):
+                            matched[position].append(index)
+        finally:
+            for frame_filter, previous in previous_clocks:
+                frame_filter.clock = previous
+            if hasattr(self.detector, "clock"):
+                self.detector.clock = previous_detector_clock
+        elapsed = time.perf_counter() - started
+        shared_breakdown = self.clock.delta_since(cost_baseline)
+
+        detector_component = getattr(self.detector, "name", "detector")
+        detector_latency = float(getattr(self.detector, "latency_ms", 0.0))
+        labels = _unique_query_labels(queries)
+        attributed: dict[str, CostBreakdown] = {}
+        results: list[QueryExecutionResult] = []
+        for position, query in enumerate(queries):
+            breakdown = CostBreakdown()
+            for (component, latency), calls in attributed_calls[position].items():
+                breakdown.per_component_ms[component] = (
+                    breakdown.per_component_ms.get(component, 0.0) + latency * calls
+                )
+                breakdown.per_component_calls[component] = (
+                    breakdown.per_component_calls.get(component, 0) + calls
+                )
+            survivors = len(passed[position])
+            if survivors:
+                breakdown.per_component_ms[detector_component] = (
+                    breakdown.per_component_ms.get(detector_component, 0.0)
+                    + detector_latency * survivors
+                )
+                breakdown.per_component_calls[detector_component] = (
+                    breakdown.per_component_calls.get(detector_component, 0) + survivors
+                )
+            attributed[labels[position]] = breakdown
+            stats = ExecutionStats(
+                frames_scanned=len(per_query_indices[position]),
+                frames_passed_filters=survivors,
+                detector_invocations=survivors,
+                filter_invocations=filter_invocations[position],
+                simulated_cost=breakdown,
+                wall_clock_seconds=elapsed,
+                batch_size=batch_size,
+            )
+            windows = (
+                _partition_into_windows(
+                    per_query_windows[position],
+                    per_query_indices[position],
+                    passed[position],
+                    matched[position],
+                )
+                if per_query_windows[position] is not None
+                else None
+            )
+            results.append(
+                QueryExecutionResult(
+                    query_name=query.name,
+                    cascade_description=query_cascades[position].describe(),
+                    matched_frames=tuple(matched[position]),
+                    stats=stats,
+                    windows=windows,
+                )
+            )
+        shared_stats = SharedExecutionStats(
+            frames_scanned=len(union_indices),
+            detector_invocations=shared_detector_invocations,
+            filter_computations=shared_filter_computations,
+            unique_steps=len(unique_steps),
+            total_steps=sum(len(cascade) for cascade in query_cascades),
+            cost=SharedCostReport(shared=shared_breakdown, attributed=attributed),
+            wall_clock_seconds=elapsed,
+            batch_size=batch_size,
+        )
+        return MultiQueryExecutionResult(results=tuple(results), shared=shared_stats)
+
+    # ------------------------------------------------------------------
     # Execution modes
     # ------------------------------------------------------------------
     def _run_sequential(
@@ -364,10 +682,10 @@ class StreamingQueryExecutor:
         filter_invocations = 0
         for index in indices:
             frame = stream.frame(index)
-            predictions: dict[int, FilterPrediction] = {}
+            predictions: dict[tuple, FilterPrediction] = {}
             passed = True
             for step in cascade:
-                key = id(step.frame_filter)
+                key = step.frame_filter.identity
                 if key not in predictions:
                     predictions[key] = step.frame_filter.predict(frame)
                     filter_invocations += 1
@@ -393,7 +711,8 @@ class StreamingQueryExecutor:
         """Chunked execution: each cascade step narrows the survivor mask.
 
         A filter shared by several steps is evaluated at most once per frame
-        (the per-chunk prediction cache), and only ever on frames that
+        (the per-chunk prediction cache, keyed by the filter's ``identity``
+        as in every other execution path), and only ever on frames that
         survived every earlier step — exactly the frames the sequential path
         evaluates it on, so both modes charge identical filter call counts.
         """
@@ -405,11 +724,11 @@ class StreamingQueryExecutor:
             frames = [stream.frame(index) for index in chunk]
             # Positions (into the chunk) still surviving the cascade.
             alive = list(range(len(chunk)))
-            cache: dict[int, dict[int, FilterPrediction]] = {}
+            cache: dict[tuple, dict[int, FilterPrediction]] = {}
             for step in cascade:
                 if not alive:
                     break
-                per_filter = cache.setdefault(id(step.frame_filter), {})
+                per_filter = cache.setdefault(step.frame_filter.identity, {})
                 missing = [pos for pos in alive if pos not in per_filter]
                 if missing:
                     batch = step.frame_filter.predict_batch(
@@ -514,6 +833,43 @@ class StreamingQueryExecutor:
             reports=reports,
             windows=windows,
         )
+
+
+def _window_bounds_for(
+    query: Query, stream: VideoStream, include_partial_windows: bool
+) -> list[WindowBounds] | None:
+    """The query's hopping-window instances over ``stream`` (``None`` if un-windowed).
+
+    An empty stream is an empty execution (as in the un-windowed path); a
+    non-empty stream too short for even one window is a configuration error.
+    """
+    if query.window is None:
+        return None
+    hopping = HoppingWindow(size=query.window.size, advance=query.window.advance)
+    bounds = list(hopping.windows_over(len(stream), include_partial=include_partial_windows))
+    if not bounds and len(stream) > 0:
+        raise ValueError(
+            f"window of size {query.window.size} produces no instances over "
+            f"a {len(stream)}-frame stream; shrink the window or pass "
+            "include_partial_windows=True"
+        )
+    return bounds
+
+
+def _unique_query_labels(queries: Sequence[Query]) -> list[str]:
+    """Per-query labels for cost attribution, disambiguating duplicate names."""
+    counts: dict[str, int] = {}
+    for query in queries:
+        counts[query.name] = counts.get(query.name, 0) + 1
+    seen: dict[str, int] = {}
+    labels: list[str] = []
+    for query in queries:
+        if counts[query.name] == 1:
+            labels.append(query.name)
+        else:
+            seen[query.name] = seen.get(query.name, 0) + 1
+            labels.append(f"{query.name}#{seen[query.name]}")
+    return labels
 
 
 def _restrict_to_coverage(

@@ -62,12 +62,16 @@ _ORDER_RE = re.compile(
     r"\(?\s*ORDER\s*\(\s*(?P<a>\w+)\s*,\s*(?P<b>\w+)\s*\)\s*=\s*(?P<dir>\w+)\s*\)?",
     re.IGNORECASE,
 )
+# Two-character operators must come first in the alternation, or ">=" would
+# match as ">" followed by an unparseable "=".
+_COMPARISON_OPS = r">=|<=|=|>|<"
 _COUNT_RE = re.compile(
-    r"COUNT\s*\(\s*(?P<target>[\w*]+)\s*\)\s*(?P<op>>=|<=|=)\s*(?P<value>\d+)",
+    r"COUNT\s*\(\s*(?P<target>[\w*]+)\s*\)\s*(?P<op>" + _COMPARISON_OPS + r")\s*(?P<value>\d+)",
     re.IGNORECASE,
 )
 _INSIDE_RE = re.compile(
-    r"(?P<neg>NOT\s+)?INSIDE\s*\(\s*(?P<cls>\w+)\s*,\s*(?P<region>\w+)\s*\)\s*(?P<op>>=|<=|=)\s*(?P<value>\d+)",
+    r"(?P<neg>NOT\s+)?INSIDE\s*\(\s*(?P<cls>\w+)\s*,\s*(?P<region>\w+)\s*\)\s*"
+    r"(?P<op>" + _COMPARISON_OPS + r")\s*(?P<value>\d+)",
     re.IGNORECASE,
 )
 _EQUALITY_RE = re.compile(r"^(?P<alias>\w+)\s*=\s*(?P<value>[\w-]+)$")
@@ -76,6 +80,8 @@ _OPERATORS = {
     "=": ComparisonOperator.EQUAL,
     ">=": ComparisonOperator.AT_LEAST,
     "<=": ComparisonOperator.AT_MOST,
+    ">": ComparisonOperator.GREATER,
+    "<": ComparisonOperator.LESS,
 }
 
 _QUADRANT_NAMES = {q.value.upper(): q for q in Quadrant}

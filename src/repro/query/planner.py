@@ -99,6 +99,15 @@ class CascadeStep:
     ``measured_pass_rate`` / ``measured_cost_ms`` are filled in by
     :func:`measure_cascade_selectivity` when selectivity-aware ordering runs;
     they stay ``None`` on statically ordered cascades.
+
+    ``signature`` is a hashable description of *what the check decides* (the
+    predicates and tolerance it was planned from).  Two steps with equal
+    signatures over filters with equal
+    :attr:`~repro.filters.base.FrameFilter.identity` are semantically the
+    same check, so multi-query execution evaluates one of them per frame and
+    shares the outcome (see :func:`merge_cascade_steps`).  Hand-built steps
+    may leave it ``None``, which disables cross-cascade merging for them —
+    a lambda's behaviour cannot be compared.
     """
 
     name: str
@@ -106,6 +115,7 @@ class CascadeStep:
     check: Callable[[FilterPrediction], bool]
     measured_pass_rate: float | None = None
     measured_cost_ms: float | None = None
+    signature: tuple | None = None
 
     def passes(self, prediction: FilterPrediction) -> bool:
         return bool(self.check(prediction))
@@ -199,7 +209,7 @@ def measure_cascade_selectivity(
         frame_filter.clock = None
     try:
         predictions = {
-            id(frame_filter): frame_filter.predict_batch(frames)
+            frame_filter.identity: frame_filter.predict_batch(frames)
             for frame_filter, _ in saved_clocks
         }
     finally:
@@ -207,7 +217,7 @@ def measure_cascade_selectivity(
             frame_filter.clock = previous
     measured = []
     for step in cascade.steps:
-        step_predictions = predictions[id(step.frame_filter)]
+        step_predictions = predictions[step.frame_filter.identity]
         passed = sum(1 for prediction in step_predictions if step.passes(prediction))
         measured.append(
             replace(
@@ -245,6 +255,55 @@ def order_cascade_by_selectivity(
 
 
 # ----------------------------------------------------------------------
+# Cross-query cascade merging
+# ----------------------------------------------------------------------
+def _normalized(predicates: Sequence) -> tuple:
+    """Predicates in a canonical order, so equivalent plans get equal signatures."""
+    return tuple(sorted(predicates, key=lambda predicate: predicate.describe()))
+
+
+def shared_step_key(step: CascadeStep) -> tuple | None:
+    """The merge key under which ``step`` may share work with other cascades.
+
+    ``None`` when the step carries no signature (hand-built check) — such
+    steps only ever share with themselves (the same object reused in several
+    cascades).
+    """
+    if step.signature is None:
+        return None
+    return (step.name, step.frame_filter.identity, step.signature)
+
+
+def merge_cascade_steps(
+    cascades: Sequence[FilterCascade],
+) -> tuple[list[CascadeStep], list[list[int]]]:
+    """Dedup semantically identical steps across several queries' cascades.
+
+    Returns ``(unique_steps, assignments)`` where ``assignments[i][j]`` is the
+    position in ``unique_steps`` of cascade ``i``'s ``j``-th step.  Two steps
+    collapse onto one entry when they are the same object, or when they carry
+    equal signatures over filters with equal identity (i.e. the planner built
+    them from the same predicates and tolerance over the same filter) — in
+    which case evaluating either decides both, which is what lets
+    multi-query execution run a shared check once per frame no matter how
+    many queries' cascades contain it.
+    """
+    unique_steps: list[CascadeStep] = []
+    index_of: dict[tuple, int] = {}
+    assignments: list[list[int]] = []
+    for cascade in cascades:
+        positions: list[int] = []
+        for step in cascade:
+            key = shared_step_key(step) or ("unshared", id(step))
+            if key not in index_of:
+                index_of[key] = len(unique_steps)
+                unique_steps.append(step)
+            positions.append(index_of[key])
+        assignments.append(positions)
+    return unique_steps, assignments
+
+
+# ----------------------------------------------------------------------
 # Predicate checks over filter predictions
 # ----------------------------------------------------------------------
 def _count_possible(
@@ -255,13 +314,28 @@ def _count_possible(
         if predicate.class_name is None
         else prediction.count_of(predicate.class_name)
     )
-    if predicate.operator is ComparisonOperator.EQUAL:
-        return abs(predicted - predicate.value) <= tolerance
-    if predicate.operator is ComparisonOperator.AT_LEAST:
-        return predicted >= predicate.value - tolerance
-    if predicate.operator is ComparisonOperator.AT_MOST:
-        return predicted <= predicate.value + tolerance
-    raise ValueError(f"unknown operator {predicate.operator}")  # pragma: no cover
+    return _comparison_possible(predicate.operator, predicted, predicate.value, tolerance)
+
+
+def _comparison_possible(
+    operator: ComparisonOperator, predicted: int, value: int, tolerance: int
+) -> bool:
+    """Whether ``predicted <op> value`` may still hold within ``tolerance``.
+
+    Strict comparisons widen by the same slack as their non-strict
+    counterparts: ``> value`` may hold whenever ``>= value + 1`` may.
+    """
+    if operator is ComparisonOperator.EQUAL:
+        return abs(predicted - value) <= tolerance
+    if operator is ComparisonOperator.AT_LEAST:
+        return predicted >= value - tolerance
+    if operator is ComparisonOperator.AT_MOST:
+        return predicted <= value + tolerance
+    if operator is ComparisonOperator.GREATER:
+        return predicted > value - tolerance
+    if operator is ComparisonOperator.LESS:
+        return predicted < value + tolerance
+    raise ValueError(f"unknown operator {operator}")  # pragma: no cover
 
 
 def _spatial_possible(
@@ -287,13 +361,7 @@ def _region_possible(
     else:
         _, blob_count = ndimage.label(selected.values)
     tolerance = dilation  # reuse the dilation level as the count slack
-    if predicate.operator is ComparisonOperator.EQUAL:
-        return abs(blob_count - predicate.value) <= tolerance
-    if predicate.operator is ComparisonOperator.AT_LEAST:
-        return blob_count >= predicate.value - tolerance
-    if predicate.operator is ComparisonOperator.AT_MOST:
-        return blob_count <= predicate.value + tolerance
-    raise ValueError(f"unknown operator {predicate.operator}")  # pragma: no cover
+    return _comparison_possible(predicate.operator, blob_count, predicate.value, tolerance)
 
 
 class QueryPlanner:
@@ -343,33 +411,37 @@ class QueryPlanner:
             per_class = [p for p in count_predicates if p.class_name is not None]
             total_only = [p for p in count_predicates if p.class_name is None]
             if per_class:
+                per_class_preds = _normalized(per_class)
                 cascade.steps.append(
                     CascadeStep(
                         name=f"{family_label}-CCF{suffix}",
                         frame_filter=primary,
-                        check=lambda prediction, preds=tuple(per_class), tol=tolerance: all(
+                        check=lambda prediction, preds=per_class_preds, tol=tolerance: all(
                             _count_possible(p, prediction, tol) for p in preds
                         ),
+                        signature=("count", tolerance, per_class_preds),
                     )
                 )
             if total_only:
                 count_filter = self.filters.get("od_cof", primary)
                 label = "OD-COF" if "od_cof" in self.filters else f"{family_label}-CF"
+                total_preds = _normalized(total_only)
                 cascade.steps.append(
                     CascadeStep(
                         name=f"{label}{suffix}",
                         frame_filter=count_filter,
-                        check=lambda prediction, preds=tuple(total_only), tol=tolerance: all(
+                        check=lambda prediction, preds=total_preds, tol=tolerance: all(
                             _count_possible(p, prediction, tol) for p in preds
                         ),
+                        signature=("count", tolerance, total_preds),
                     )
                 )
 
         if config.use_location_filter and (query.spatial_predicates or query.region_predicates):
             dilation = config.location_dilation
             suffix = f"-{dilation}" if dilation else ""
-            spatial = tuple(query.spatial_predicates)
-            regions = tuple(query.region_predicates)
+            spatial = _normalized(query.spatial_predicates)
+            regions = _normalized(query.region_predicates)
             cascade.steps.append(
                 CascadeStep(
                     name=f"{family_label}-CLF{suffix}",
@@ -378,6 +450,7 @@ class QueryPlanner:
                         _spatial_possible(p, prediction, dil) for p in sp
                     )
                     and all(_region_possible(p, prediction, dil) for p in rg),
+                    signature=("location", dilation, spatial, regions),
                 )
             )
 

@@ -12,6 +12,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.spatial.geometry import Box, Point
 from repro.spatial.grid import Grid, GridMask
 
@@ -27,13 +29,31 @@ class Quadrant(enum.Enum):
 
 @dataclass(frozen=True)
 class Region:
-    """A named rectangular region of the screen."""
+    """A named rectangular region of the screen.
+
+    Boxes are min-inclusive / max-exclusive, which tiles *interior* edges
+    perfectly (a point on the boundary between two quadrants belongs to
+    exactly one) but leaves the frame's outermost bottom and right edges in
+    no region at all.  Regions whose max edge coincides with the frame edge
+    therefore set ``inclusive_x_max`` / ``inclusive_y_max`` so that a
+    detection centered exactly on the frame boundary still falls inside —
+    the four quadrants and the full-frame region together must cover every
+    representable point of the frame.
+    """
 
     name: str
     box: Box
+    inclusive_x_max: bool = False
+    inclusive_y_max: bool = False
 
     def contains_point(self, point: Point) -> bool:
-        return self.box.contains_point(point)
+        x_ok = self.box.x_min <= point.x < self.box.x_max or (
+            self.inclusive_x_max and point.x == self.box.x_max
+        )
+        y_ok = self.box.y_min <= point.y < self.box.y_max or (
+            self.inclusive_y_max and point.y == self.box.y_max
+        )
+        return x_ok and y_ok
 
     def contains_box(self, box: Box, mode: str = "center") -> bool:
         """Whether ``box`` is considered inside the region.
@@ -47,7 +67,7 @@ class Region:
         * ``"overlap"`` — the box overlaps the region at all.
         """
         if mode == "center":
-            return self.box.contains_point(box.center)
+            return self.contains_point(box.center)
         if mode == "full":
             return self.box.contains_box(box)
         if mode == "overlap":
@@ -55,22 +75,50 @@ class Region:
         raise ValueError(f"unknown containment mode: {mode!r}")
 
     def grid_mask(self, grid: Grid) -> GridMask:
-        """The set of grid cells whose centers fall inside the region."""
-        values = grid.empty_mask().values
-        for row in range(grid.rows):
-            for col in range(grid.cols):
-                if self.box.contains_point(grid.cell_center(row, col)):
-                    values[row, col] = True
-        return GridMask(grid=grid, values=values)
+        """The set of grid cells whose centers fall inside the region.
+
+        Vectorized: the row/column center coordinates are compared against
+        the region bounds as two 1-D interval tests whose outer product is
+        the mask — same semantics as testing :meth:`contains_point` on every
+        cell center, without the per-cell Python loop.  The centers are
+        computed with the exact expression :meth:`Grid.cell_center` uses
+        (``(edge + next_edge) / 2``, not ``(col + 0.5) * width``): the two
+        differ in the last ulp for non-dyadic cell sizes, which would flip
+        strict comparisons on cells whose center lies exactly on a region
+        boundary.
+        """
+        cols = np.arange(grid.cols)
+        rows = np.arange(grid.rows)
+        col_centers = (cols * grid.cell_width + (cols + 1) * grid.cell_width) / 2.0
+        row_centers = (rows * grid.cell_height + (rows + 1) * grid.cell_height) / 2.0
+        x_ok = (self.box.x_min <= col_centers) & (col_centers < self.box.x_max)
+        y_ok = (self.box.y_min <= row_centers) & (row_centers < self.box.y_max)
+        if self.inclusive_x_max:
+            x_ok |= col_centers == self.box.x_max
+        if self.inclusive_y_max:
+            y_ok |= row_centers == self.box.y_max
+        return GridMask(grid=grid, values=y_ok[:, None] & x_ok[None, :])
 
 
 def full_frame_region(width: int, height: int) -> Region:
-    """The region covering the entire frame."""
-    return Region(name="frame", box=Box(0, 0, width, height))
+    """The region covering the entire frame (all four frame edges inclusive)."""
+    return Region(
+        name="frame",
+        box=Box(0, 0, width, height),
+        inclusive_x_max=True,
+        inclusive_y_max=True,
+    )
 
 
 def quadrant_region(quadrant: Quadrant, width: int, height: int) -> Region:
-    """One of the four screen quadrants of a ``width x height`` frame."""
+    """One of the four screen quadrants of a ``width x height`` frame.
+
+    The quadrants tile the frame exactly: interior boundaries stay
+    max-exclusive (a point on the vertical midline belongs to the right
+    quadrants only), while the frame's own right and bottom edges are
+    inclusive for the quadrants that touch them, so every point of the
+    ``[0, width] x [0, height]`` frame falls in exactly one quadrant.
+    """
     half_w = width / 2.0
     half_h = height / 2.0
     if quadrant is Quadrant.UPPER_LEFT:
@@ -83,4 +131,9 @@ def quadrant_region(quadrant: Quadrant, width: int, height: int) -> Region:
         box = Box(half_w, half_h, width, height)
     else:  # pragma: no cover - exhaustive enum
         raise ValueError(f"unknown quadrant: {quadrant}")
-    return Region(name=quadrant.value, box=box)
+    return Region(
+        name=quadrant.value,
+        box=box,
+        inclusive_x_max=box.x_max == width,
+        inclusive_y_max=box.y_max == height,
+    )

@@ -176,3 +176,27 @@ def test_class_count_control(trained_od_filter, tiny_jackson):
     car_control = class_count_control("car")
     assert total_control(prediction) == float(prediction.total_count)
     assert car_control(prediction) == float(prediction.count_of("car"))
+
+
+def test_monitor_keeps_shared_clock_history(trained_od_filter, tiny_jackson):
+    """Regression: estimate() must not wipe a caller-supplied shared clock."""
+    from repro.cost import SimulatedClock
+
+    clock = SimulatedClock()
+    clock.charge("pre_existing", 50.0)
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=13)
+    monitor = AggregateMonitor(
+        detector=detector, frame_filter=trained_od_filter, clock=clock, seed=5
+    )
+    query = QueryBuilder("cars_present").count("car").at_least(1).build()
+    spec = AggregateQuerySpec.from_query(query, [query_indicator_control(query)])
+    first = monitor.estimate(spec, tiny_jackson.test, sample_size=10)
+    second = monitor.estimate(spec, tiny_jackson.test, sample_size=10)
+    # Per-estimate cost is a delta, not the running total...
+    assert first.per_frame_cost_ms == pytest.approx(second.per_frame_cost_ms)
+    assert first.per_frame_cost_ms == pytest.approx(
+        200.0 + trained_od_filter.latency_ms, rel=0.01
+    )
+    # ...and the shared clock keeps its history across estimates.
+    assert clock.breakdown.per_component_ms["pre_existing"] == 50.0
+    assert clock.breakdown.per_component_calls["mask_rcnn"] == 20

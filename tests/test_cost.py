@@ -10,6 +10,7 @@ from repro.cost import (
     OD_BRANCH_MS,
     YOLO_FULL_MS,
     CostBreakdown,
+    SharedCostReport,
     SimulatedClock,
 )
 
@@ -50,3 +51,61 @@ def test_cost_breakdown_merge():
     assert merged.total_ms == pytest.approx(215.0)
     # merge does not mutate the originals
     assert a.per_component_ms == {"f": 10.0}
+
+
+def test_clock_snapshot_delta_accounting():
+    clock = SimulatedClock()
+    clock.charge("filter", 1.5)
+    snapshot = clock.snapshot()
+    clock.charge("filter", 1.5)
+    clock.charge("detector", 200.0)
+    delta = clock.delta_since(snapshot)
+    assert delta.per_component_ms == {"filter": 1.5, "detector": 200.0}
+    assert delta.per_component_calls == {"filter": 1, "detector": 1}
+    # The snapshot is frozen: later charges do not leak into it.
+    assert snapshot.per_component_calls == {"filter": 1}
+    # A snapshot equal to the current state yields an empty delta.
+    assert clock.delta_since(clock.snapshot()).total_ms == 0.0
+    # Components untouched since the snapshot are absent from the delta.
+    later = clock.snapshot()
+    clock.charge("filter", 1.5)
+    assert "detector" not in clock.delta_since(later).per_component_ms
+
+
+def test_breakdown_minus_rejects_non_prefix_snapshots():
+    clock = SimulatedClock()
+    clock.charge("filter", 1.5)
+    snapshot = clock.snapshot()
+    clock.reset()
+    with pytest.raises(ValueError):
+        clock.delta_since(snapshot)
+    clock.charge("filter", 0.5)
+    with pytest.raises(ValueError):
+        clock.delta_since(snapshot)
+
+
+def test_breakdown_copy_is_independent():
+    original = CostBreakdown(per_component_ms={"f": 1.0}, per_component_calls={"f": 1})
+    copy = original.copy()
+    copy.per_component_ms["f"] = 99.0
+    copy.per_component_calls["g"] = 7
+    assert original.per_component_ms == {"f": 1.0}
+    assert original.per_component_calls == {"f": 1}
+
+
+def test_shared_cost_report_ratios():
+    shared = CostBreakdown(per_component_ms={"od_branch": 100.0}, per_component_calls={"od_branch": 50})
+    attributed = {
+        "q1": CostBreakdown(per_component_ms={"od_branch": 100.0}, per_component_calls={"od_branch": 50}),
+        "q2": CostBreakdown(per_component_ms={"od_branch": 100.0}, per_component_calls={"od_branch": 50}),
+        "q3": CostBreakdown(per_component_ms={"od_branch": 100.0}, per_component_calls={"od_branch": 50}),
+    }
+    report = SharedCostReport(shared=shared, attributed=attributed)
+    assert report.shared_ms == pytest.approx(100.0)
+    assert report.standalone_ms == pytest.approx(300.0)
+    assert report.savings_ratio == pytest.approx(3.0)
+    # Degenerate cases keep the ratio total.
+    empty = SharedCostReport(shared=CostBreakdown())
+    assert empty.savings_ratio == 1.0
+    free_shared = SharedCostReport(shared=CostBreakdown(), attributed=attributed)
+    assert free_shared.savings_ratio == float("inf")

@@ -168,3 +168,52 @@ def test_parse_errors():
             "SELECT C2(F2(box1)) AS vehColor FROM (PROCESS v PRODUCE box1 USING d) "
             "WHERE vehColor = red"
         )
+
+
+def test_strict_comparison_operators():
+    assert ComparisonOperator.GREATER.compare(3, 2)
+    assert not ComparisonOperator.GREATER.compare(2, 2)
+    assert ComparisonOperator.LESS.compare(1, 2)
+    assert not ComparisonOperator.LESS.compare(2, 2)
+    assert ComparisonOperator.GREATER.value == ">"
+    assert ComparisonOperator.LESS.value == "<"
+
+
+def test_parse_strict_comparisons():
+    """Regression: ``COUNT(car) > 2`` / ``INSIDE(...) < 1`` used to raise ParseError."""
+    text = """
+    SELECT cameraID, frameID
+    FROM (PROCESS inputVideo PRODUCE cameraID, frameID, vehBox1 USING VehDetector)
+    WHERE COUNT(car) > 2 AND COUNT(*) < 10 AND INSIDE(person, LOWER_LEFT) < 1
+    """
+    query = parse_query(text, frame_width=200, frame_height=200)
+    counts = {p.class_name: p for p in query.count_predicates}
+    assert counts["car"].operator is ComparisonOperator.GREATER
+    assert counts["car"].value == 2
+    assert counts[None].operator is ComparisonOperator.LESS
+    assert counts[None].value == 10
+    region = query.region_predicates[0]
+    assert region.operator is ComparisonOperator.LESS
+    assert region.value == 1
+    # Non-strict operators still parse as before (">=" is not read as ">").
+    relaxed = parse_query(
+        text.replace("> 2", ">= 2").replace("< 10", "<= 10"),
+        frame_width=200,
+        frame_height=200,
+    )
+    relaxed_counts = {p.class_name: p for p in relaxed.count_predicates}
+    assert relaxed_counts["car"].operator is ComparisonOperator.AT_LEAST
+    assert relaxed_counts[None].operator is ComparisonOperator.AT_MOST
+
+
+def test_builder_strict_count_clauses():
+    query = (
+        QueryBuilder("strict")
+        .count("car").greater_than(2)
+        .count().less_than(10)
+        .build()
+    )
+    car, total = query.count_predicates
+    assert car.operator is ComparisonOperator.GREATER and car.value == 2
+    assert total.class_name is None
+    assert total.operator is ComparisonOperator.LESS and total.value == 10

@@ -173,3 +173,41 @@ def test_empty_cascade_runs_detector_on_every_frame(tiny_jackson):
     result = executor.execute(query, tiny_jackson.test, FilterCascade(), frame_indices=range(5))
     assert result.stats.detector_invocations == 5
     assert result.num_matches == 5
+
+
+def test_count_checks_handle_strict_comparisons():
+    from repro.query import ComparisonOperator
+    from repro.query.planner import _comparison_possible
+
+    # "> value" may hold whenever ">= value + 1" may, widened by the slack.
+    assert _comparison_possible(ComparisonOperator.GREATER, 2, 2, 1)
+    assert not _comparison_possible(ComparisonOperator.GREATER, 1, 2, 1)
+    assert not _comparison_possible(ComparisonOperator.GREATER, 2, 2, 0)
+    assert _comparison_possible(ComparisonOperator.LESS, 2, 2, 1)
+    assert not _comparison_possible(ComparisonOperator.LESS, 3, 2, 1)
+    assert not _comparison_possible(ComparisonOperator.LESS, 2, 2, 0)
+
+
+def test_strict_count_query_plans_and_executes(trained_od_filter, tiny_jackson):
+    query = QueryBuilder("strict").count("car").greater_than(0).build()
+    cascade = QueryPlanner(
+        {"od": trained_od_filter}, PlannerConfig(count_tolerance=1)
+    ).plan(query)
+    assert len(cascade) == 1
+    detector = ReferenceDetector(class_names=tiny_jackson.class_names, seed=77)
+    filtered = StreamingQueryExecutor(detector).execute(query, tiny_jackson.test, cascade)
+    brute = brute_force_execute(
+        query,
+        tiny_jackson.test,
+        ReferenceDetector(class_names=tiny_jackson.class_names, seed=77),
+    )
+    # Verification is exact, so the filtered answer never over-reports.
+    assert set(filtered.matched_frames) <= set(brute.matched_frames)
+    # "> 0" and ">= 1" are the same question; the exact answers agree.
+    at_least = QueryBuilder("relaxed").count("car").at_least(1).build()
+    relaxed = brute_force_execute(
+        at_least,
+        tiny_jackson.test,
+        ReferenceDetector(class_names=tiny_jackson.class_names, seed=77),
+    )
+    assert brute.matched_frames == relaxed.matched_frames

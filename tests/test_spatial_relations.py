@@ -127,6 +127,39 @@ def test_quadrants_partition_the_frame():
     assert frame.contains_point(point)
 
 
+def test_quadrants_tile_frame_boundary_inclusively():
+    """A point exactly on the bottom/right frame edge falls in exactly one quadrant.
+
+    Boxes are max-exclusive, so without the regions' inclusive frame edges a
+    detection centered on the frame boundary would fall in *no* quadrant and
+    outside the full-frame region.
+    """
+    width, height = 100, 80
+    regions = [quadrant_region(q, width, height) for q in Quadrant]
+    frame = full_frame_region(width, height)
+    boundary_cases = {
+        Point(width, height): Quadrant.LOWER_RIGHT,
+        Point(width, 0): Quadrant.UPPER_RIGHT,
+        Point(0, height): Quadrant.LOWER_LEFT,
+        Point(width, height / 2): Quadrant.LOWER_RIGHT,
+        Point(width / 2, height): Quadrant.LOWER_RIGHT,
+        Point(0, 0): Quadrant.UPPER_LEFT,
+    }
+    for point, expected in boundary_cases.items():
+        assert frame.contains_point(point), point
+        containing = [r for r in regions if r.contains_point(point)]
+        assert len(containing) == 1, (point, [r.name for r in containing])
+        assert containing[0].name == expected.value
+    # Interior edges stay max-exclusive: the midlines belong to the
+    # right/lower quadrants only, and points outside the frame stay outside.
+    midpoint = Point(width / 2, height / 2)
+    assert [r.name for r in regions if r.contains_point(midpoint)] == [
+        Quadrant.LOWER_RIGHT.value
+    ]
+    assert not frame.contains_point(Point(width + 1, height))
+    assert not frame.contains_point(Point(-1, 0))
+
+
 def test_region_containment_modes():
     region = Region("zone", Box(0, 0, 50, 50))
     box = Box(35, 35, 55, 55)
@@ -145,6 +178,63 @@ def test_region_grid_mask():
     mask = region.grid_mask(grid)
     assert mask.count == 4
     assert set(mask.occupied_cells()) == {(0, 0), (0, 1), (1, 0), (1, 1)}
+
+
+def _loop_grid_mask(region, grid):
+    """The original per-cell double loop, kept as the reference semantics."""
+    values = grid.empty_mask().values
+    for row in range(grid.rows):
+        for col in range(grid.cols):
+            if region.contains_point(grid.cell_center(row, col)):
+                values[row, col] = True
+    return values
+
+
+def test_region_grid_mask_matches_per_cell_loop():
+    """The vectorized grid_mask equals the cell-center loop on a 56x56 grid."""
+    import numpy as np
+
+    grid = Grid(rows=56, cols=56, frame_width=448, frame_height=448)
+    regions = [quadrant_region(q, 448, 448) for q in Quadrant]
+    regions.append(full_frame_region(448, 448))
+    regions.append(Region("offgrid", Box(13.5, 70.2, 200.0, 448.0)))
+    regions.append(Region("sliver", Box(0, 443, 448, 448), inclusive_y_max=True))
+    for region in regions:
+        vectorized = region.grid_mask(grid).values
+        assert np.array_equal(vectorized, _loop_grid_mask(region, grid)), region.name
+    # The quadrant masks tile the grid exactly.
+    total = sum(region.grid_mask(grid).count for region in regions[:4])
+    assert total == 56 * 56
+
+
+@pytest.mark.parametrize(
+    "rows,cols,width,height",
+    [(5, 5, 448, 448), (11, 11, 1920, 1080), (7, 9, 100, 100)],
+)
+def test_region_grid_mask_loop_parity_on_non_dyadic_cells(rows, cols, width, height):
+    """Cell sizes that are not exactly representable must not flip boundary cells.
+
+    ``(col + 0.5) * cell_width`` and ``Grid.cell_center``'s
+    ``(edge + next_edge) / 2`` differ in the last ulp for these geometries;
+    a cell whose center lies exactly on a quadrant midline would land on
+    different sides under the two expressions.
+    """
+    import numpy as np
+
+    grid = Grid(rows=rows, cols=cols, frame_width=width, frame_height=height)
+    quadrants = [quadrant_region(q, width, height) for q in Quadrant]
+    for region in quadrants:
+        vectorized = region.grid_mask(grid).values
+        assert np.array_equal(vectorized, _loop_grid_mask(region, grid)), (
+            region.name,
+            rows,
+            width,
+        )
+    # Quadrants still tile the grid: every cell center in exactly one mask.
+    total = np.zeros((rows, cols), dtype=int)
+    for region in quadrants:
+        total += region.grid_mask(grid).values.astype(int)
+    assert np.array_equal(total, np.ones_like(total))
 
 
 def test_constraint_combinators():
