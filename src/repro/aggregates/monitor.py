@@ -34,6 +34,7 @@ from repro.detection.base import Detector, FrameDetections
 from repro.filters.base import FilterPrediction, FrameFilter
 from repro.query.ast import Query, WindowSpec
 from repro.query.evaluation import evaluate_predicates_on_detections
+from repro.query.temporal import DeltaGate, TemporalConfig, TemporalStats, clocks_detached
 from repro.video.stream import Frame, VideoStream
 
 
@@ -102,6 +103,8 @@ class MonitoringReport:
     per_frame_cost_ms: float
     detector_only_cost_ms: float
     wall_clock_seconds: float
+    #: reuse telemetry of a temporally-gated estimate (``None`` otherwise)
+    temporal: TemporalStats | None = None
 
     @property
     def variance_reduction(self) -> float:
@@ -143,8 +146,12 @@ class AggregateMonitor:
     # Core estimation
     # ------------------------------------------------------------------
     def _evaluate_samples(
-        self, spec: AggregateQuerySpec, stream: VideoStream, indices: Sequence[int]
-    ) -> tuple[np.ndarray, np.ndarray]:
+        self,
+        spec: AggregateQuerySpec,
+        stream: VideoStream,
+        indices: Sequence[int],
+        temporal: TemporalConfig | None = None,
+    ) -> tuple[np.ndarray, np.ndarray, TemporalStats | None]:
         """Evaluate exact values and controls on the sampled frames.
 
         The filter side runs as one vectorized ``predict_batch`` call over
@@ -155,17 +162,93 @@ class AggregateMonitor:
         agrees exactly on the integer counts and thresholded masks the
         standard controls consume (raw scores may differ at the last ulp —
         see ``LinearBranchFilter.predict_batch``).
+
+        With a ``temporal`` config the samples are delta-gated instead
+        (see :mod:`repro.query.temporal`): sample indices arrive sorted, so
+        on a stable stream consecutive samples are nearly identical and
+        both the detector value and the control values of the previous
+        sample can be reused.  Adaptive striding does not apply — the
+        sample set is already sparse — so only the gate runs.  In exact
+        mode every reuse is verified with the clock detached and the
+        verified values are the ones used, keeping estimates bit-identical
+        to the ungated path.
         """
+        if temporal is None:
+            exact_values = np.zeros(len(indices))
+            controls = np.zeros((len(indices), len(spec.control_values)))
+            frames = [stream.frame(int(frame_index)) for frame_index in indices]
+            predictions = self.frame_filter.predict_batch(frames)
+            for row, (frame, prediction) in enumerate(zip(frames, predictions)):
+                detections = self.detector.detect(frame)
+                exact_values[row] = spec.exact_value(detections)
+                for col, control in enumerate(spec.control_values):
+                    controls[row, col] = control(prediction)
+            return exact_values, controls, None
+        return self._evaluate_samples_temporal(spec, stream, indices, temporal)
+
+    def _evaluate_samples_temporal(
+        self,
+        spec: AggregateQuerySpec,
+        stream: VideoStream,
+        indices: Sequence[int],
+        temporal: TemporalConfig,
+    ) -> tuple[np.ndarray, np.ndarray, TemporalStats]:
         exact_values = np.zeros(len(indices))
         controls = np.zeros((len(indices), len(spec.control_values)))
-        frames = [stream.frame(int(frame_index)) for frame_index in indices]
-        predictions = self.frame_filter.predict_batch(frames)
-        for row, (frame, prediction) in enumerate(zip(frames, predictions)):
+        gate = DeltaGate(temporal)
+        computed = reused = verified = mismatches = 0
+        detector_component = getattr(self.detector, "name", "detector")
+
+        def evaluate(frame: Frame) -> tuple[float, np.ndarray]:
+            # predict_batch of one frame, not predict: per-frame batch rows
+            # are independent, so the values match the ungated path's single
+            # whole-sample batch bit for bit.
+            prediction = self.frame_filter.predict_batch([frame])[0]
             detections = self.detector.detect(frame)
-            exact_values[row] = spec.exact_value(detections)
-            for col, control in enumerate(spec.control_values):
-                controls[row, col] = control(prediction)
-        return exact_values, controls
+            value = float(spec.exact_value(detections))
+            row = np.array(
+                [control(prediction) for control in spec.control_values]
+            )
+            return value, row
+
+        def evaluate_unclocked(frame: Frame) -> tuple[float, np.ndarray]:
+            with clocks_detached([self.frame_filter], self.detector):
+                return evaluate(frame)
+
+        for position, frame_index in enumerate(indices):
+            frame = stream.frame(int(frame_index))
+            if gate.decide(frame.image):
+                gate.mark_reused()
+                reused += 1
+                value, row = gate.outcome
+                self.clock.reuse(self.frame_filter.name)
+                self.clock.reuse(detector_component)
+                if temporal.exact:
+                    truth_value, truth_row = evaluate_unclocked(frame)
+                    verified += 1
+                    if truth_value != value or not np.array_equal(truth_row, row):
+                        mismatches += 1
+                        gate.replace_outcome((truth_value, truth_row))
+                    value, row = truth_value, truth_row
+            else:
+                value, row = evaluate(frame)
+                gate.set_keyframe(frame.image, (value, row))
+                computed += 1
+            exact_values[position] = value
+            controls[position] = row
+        stats = TemporalStats(
+            frames_total=len(indices),
+            frames_computed=computed,
+            frames_reused=reused,
+            frames_skipped=0,
+            refinement_probes=0,
+            verified_frames=verified,
+            reuse_mismatches=mismatches,
+            max_stride_used=1,
+            filter_reuses=reused,
+            detector_reuses=reused,
+        )
+        return exact_values, controls, stats
 
     def estimate(
         self,
@@ -174,12 +257,16 @@ class AggregateMonitor:
         sample_size: int,
         window: WindowBounds | None = None,
         frame_indices: Sequence[int] | None = None,
+        temporal: TemporalConfig | None = None,
     ) -> MonitoringReport:
         """Estimate one aggregate query by sampling ``sample_size`` frames.
 
         Sampling is uniform over the window (or the whole stream).  The report
         contains both the plain sampling estimate and the control-variate
         estimate; with multiple controls the multiple-CV estimator is used.
+        ``temporal`` delta-gates the sample evaluation (see
+        :meth:`_evaluate_samples`); the sampled indices themselves are drawn
+        identically either way.
         """
         # Delta-snapshot accounting rather than a reset, so a caller-supplied
         # shared clock keeps its history across estimates (same contract as
@@ -202,7 +289,9 @@ class AggregateMonitor:
                 ]
             else:
                 chosen = np.asarray(frame_indices)
-            exact_values, controls = self._evaluate_samples(spec, stream, list(chosen))
+            exact_values, controls, temporal_stats = self._evaluate_samples(
+                spec, stream, list(chosen), temporal=temporal
+            )
         finally:
             self.frame_filter.clock = previous_filter_clock
             if hasattr(self.detector, "clock"):
@@ -226,6 +315,7 @@ class AggregateMonitor:
             per_frame_cost_ms=per_frame_ms,
             detector_only_cost_ms=self.detector.latency_ms,
             wall_clock_seconds=elapsed,
+            temporal=temporal_stats,
         )
 
     def estimate_repeated(

@@ -35,10 +35,18 @@ IC_BRANCH_LAYER15_MS = 1.5
 
 @dataclass
 class CostBreakdown:
-    """Accumulated simulated cost, broken down by component name."""
+    """Accumulated simulated cost, broken down by component name.
+
+    ``per_component_calls`` counts invocations that actually ran (and charged
+    their latency); ``per_component_reused`` counts invocations the temporal
+    execution layer *avoided* by reusing a cached result — they charge zero
+    milliseconds but are recorded so reused-vs-computed ratios are visible in
+    every cost report.
+    """
 
     per_component_ms: dict[str, float] = field(default_factory=dict)
     per_component_calls: dict[str, int] = field(default_factory=dict)
+    per_component_reused: dict[str, int] = field(default_factory=dict)
 
     @property
     def total_ms(self) -> float:
@@ -48,16 +56,38 @@ class CostBreakdown:
     def total_seconds(self) -> float:
         return self.total_ms / 1000.0
 
+    @property
+    def total_calls(self) -> int:
+        """Invocations that actually ran (computed, not reused)."""
+        return sum(self.per_component_calls.values())
+
+    @property
+    def total_reused(self) -> int:
+        """Invocations avoided by temporal reuse (charged zero milliseconds)."""
+        return sum(self.per_component_reused.values())
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of all would-be invocations that were served from cache.
+
+        ``nan`` when nothing ran at all (no computed and no reused calls).
+        """
+        total = self.total_calls + self.total_reused
+        if total == 0:
+            return float("nan")
+        return self.total_reused / total
+
     def merged_with(self, other: "CostBreakdown") -> "CostBreakdown":
-        merged = CostBreakdown(
-            per_component_ms=dict(self.per_component_ms),
-            per_component_calls=dict(self.per_component_calls),
-        )
+        merged = self.copy()
         for name, ms in other.per_component_ms.items():
             merged.per_component_ms[name] = merged.per_component_ms.get(name, 0.0) + ms
         for name, calls in other.per_component_calls.items():
             merged.per_component_calls[name] = (
                 merged.per_component_calls.get(name, 0) + calls
+            )
+        for name, reused in other.per_component_reused.items():
+            merged.per_component_reused[name] = (
+                merged.per_component_reused.get(name, 0) + reused
             )
         return merged
 
@@ -66,6 +96,7 @@ class CostBreakdown:
         return CostBreakdown(
             per_component_ms=dict(self.per_component_ms),
             per_component_calls=dict(self.per_component_calls),
+            per_component_reused=dict(self.per_component_reused),
         )
 
     def minus(self, earlier: "CostBreakdown") -> "CostBreakdown":
@@ -77,7 +108,9 @@ class CostBreakdown:
         negative deltas indicate a reset in between and raise.
         """
         delta = CostBreakdown()
-        missing = set(earlier.per_component_ms) - set(self.per_component_ms)
+        missing = (
+            set(earlier.per_component_ms) - set(self.per_component_ms)
+        ) | (set(earlier.per_component_reused) - set(self.per_component_reused))
         if missing:
             raise ValueError(
                 f"snapshot is not a prefix of this breakdown (components {sorted(missing)} "
@@ -94,6 +127,15 @@ class CostBreakdown:
             if diff_calls or diff_ms > 0.0:
                 delta.per_component_ms[name] = diff_ms
                 delta.per_component_calls[name] = diff_calls
+        for name, reused in self.per_component_reused.items():
+            diff_reused = reused - earlier.per_component_reused.get(name, 0)
+            if diff_reused < 0:
+                raise ValueError(
+                    f"snapshot is not a prefix of this breakdown (component {name!r} "
+                    "shrank); was the clock reset between the snapshot and now?"
+                )
+            if diff_reused:
+                delta.per_component_reused[name] = diff_reused
         return delta
 
 
@@ -135,6 +177,21 @@ class SharedCostReport:
             return 1.0 if self.standalone_ms <= 0.0 else float("inf")
         return self.standalone_ms / self.shared_ms
 
+    @property
+    def computed_calls(self) -> int:
+        """Component invocations the shared scan actually performed."""
+        return self.shared.total_calls
+
+    @property
+    def reused_calls(self) -> int:
+        """Component invocations the shared scan avoided via temporal reuse."""
+        return self.shared.total_reused
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Reused fraction of the shared scan's would-be invocations (``nan`` if none)."""
+        return self.shared.reuse_fraction
+
 
 class SimulatedClock:
     """Accumulates the simulated cost of detector / filter invocations."""
@@ -154,6 +211,23 @@ class SimulatedClock:
         )
         breakdown.per_component_calls[component] = (
             breakdown.per_component_calls.get(component, 0) + calls
+        )
+
+    def reuse(self, component: str, calls: int = 1) -> None:
+        """Record ``calls`` invocations of ``component`` served from a temporal cache.
+
+        Reused invocations charge zero milliseconds — the whole point of the
+        temporal execution layer — but are counted separately so cost reports
+        can show how much work the reuse avoided (see
+        :attr:`CostBreakdown.per_component_reused`).
+        """
+        if calls < 0:
+            raise ValueError(f"cannot record negative reused calls: {calls}")
+        if calls == 0:
+            return
+        breakdown = self._breakdown
+        breakdown.per_component_reused[component] = (
+            breakdown.per_component_reused.get(component, 0) + calls
         )
 
     def reset(self) -> None:

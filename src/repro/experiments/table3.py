@@ -21,6 +21,7 @@ from repro.query import (
     QueryBuilder,
     QueryPlanner,
     StreamingQueryExecutor,
+    TemporalConfig,
     brute_force_execute,
 )
 from repro.query.ast import Query
@@ -115,7 +116,7 @@ def _plan(context, spec: QuerySpec, query: Query):
 
 def _make_row(spec: QuerySpec, filtered, brute) -> dict[str, object]:
     accuracy = filtered.accuracy_against(brute.matched_frames)
-    return {
+    row = {
         "query": spec.name,
         "dataset": spec.dataset,
         "cascade": filtered.cascade_description,
@@ -132,12 +133,20 @@ def _make_row(spec: QuerySpec, filtered, brute) -> dict[str, object]:
         "frames": filtered.stats.frames_scanned,
         "paper_time_s": spec.paper_time_seconds,
     }
+    if filtered.temporal is not None:
+        breakdown = filtered.stats.simulated_cost
+        row["reuse_rate"] = round(filtered.temporal.reuse_rate, 3)
+        row["reused_calls"] = breakdown.total_reused
+        row["computed_calls"] = breakdown.total_calls
+        row["reuse_mismatches"] = filtered.temporal.reuse_mismatches
+    return row
 
 
 def run(
     config: ExperimentConfig | None = None,
     query_names: tuple[str, ...] | None = None,
     shared: bool = False,
+    temporal: TemporalConfig | None = None,
 ) -> list[dict[str, object]]:
     """Execute q1–q7 (or a subset) and report one Table III row per query.
 
@@ -147,6 +156,12 @@ def run(
     attributed from the shared run (so the per-row numbers are the same as an
     independent run) plus ``shared_group_time_s`` / ``shared_savings``
     columns reporting what the concurrent workload actually cost.
+
+    With a ``temporal`` config the filtered executions run through the
+    temporal-coherence layer, and each row additionally reports the reuse
+    rate, reused-vs-computed call counts and (in exact mode) how many reuses
+    the verification caught drifting.  The brute-force baseline always runs
+    non-temporal, so speedups fold the temporal savings in.
     """
     specs = [
         spec
@@ -165,7 +180,9 @@ def run(
                 _plan(context, spec, query) for spec, query in zip(group, queries)
             ]
             executor = StreamingQueryExecutor(context.reference_detector(seed_offset=300))
-            multi = executor.execute_many(queries, context.dataset.test, cascades)
+            multi = executor.execute_many(
+                queries, context.dataset.test, cascades, temporal=temporal
+            )
             # The brute-force baseline shares its single full-detection pass
             # across the group as well (empty cascades = annotate every frame).
             brute_multi = StreamingQueryExecutor(
@@ -177,6 +194,9 @@ def run(
                 row = _make_row(spec, filtered, brute)
                 row["shared_group_time_s"] = group_time
                 row["shared_savings"] = group_savings
+                if multi.shared.temporal is not None:
+                    row["shared_reuse_rate"] = round(multi.shared.temporal.reuse_rate, 3)
+                    row["shared_reused_calls"] = multi.shared.cost.reused_calls
                 rows.append(row)
         return rows
     for spec in specs:
@@ -184,7 +204,7 @@ def run(
         query = spec.build(context)
         cascade = _plan(context, spec, query)
         executor = StreamingQueryExecutor(context.reference_detector(seed_offset=300))
-        filtered = executor.execute(query, context.dataset.test, cascade)
+        filtered = executor.execute(query, context.dataset.test, cascade, temporal=temporal)
         brute = brute_force_execute(
             query, context.dataset.test, context.reference_detector(seed_offset=300)
         )

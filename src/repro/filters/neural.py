@@ -132,11 +132,15 @@ class NeuralBranchFilter(FrameFilter):
         latency_ms: float = OD_BRANCH_MS,
         threshold: float = 0.5,
         clock: SimulatedClock | None = None,
+        inference_dtype: np.dtype | type = np.float32,
     ) -> None:
         super().__init__(clock=clock)
         self.network = network
         self.class_names = tuple(class_names)
         self.image_size = image_size
+        #: activation dtype used when the network is in eval mode; training
+        #: always runs float64 (gradient checks need the precision)
+        self.inference_dtype = np.dtype(inference_dtype)
         self.grid = Grid(
             rows=grid_size,
             cols=grid_size,
@@ -148,7 +152,20 @@ class NeuralBranchFilter(FrameFilter):
         self.latency_ms = latency_ms
         self.threshold = threshold
 
-    def _prepare_input(self, image: np.ndarray) -> np.ndarray:
+    @property
+    def _activation_dtype(self) -> np.dtype:
+        """float64 while the network trains, ``inference_dtype`` in eval mode.
+
+        In eval mode the layers preserve the input dtype end to end (see
+        :mod:`repro.nn.layers`), so feeding float32 halves the memory
+        traffic of every convolution without touching the stored float64
+        weights.
+        """
+        if getattr(self.network, "training", True):
+            return np.dtype(np.float64)
+        return self.inference_dtype
+
+    def _prepare_input(self, image: np.ndarray, dtype: np.dtype | None = None) -> np.ndarray:
         """Downsample ``(H, W, 3)`` pixels to the network's square input size.
 
         Height and width are reduced independently, so rectangular frames are
@@ -158,7 +175,9 @@ class NeuralBranchFilter(FrameFilter):
         """
         height, width = image.shape[0], image.shape[1]
         size = self.image_size
-        pixels = image.astype(np.float64) / 255.0
+        if dtype is None:
+            dtype = self._activation_dtype
+        pixels = image.astype(dtype) / dtype.type(255.0)
         if (height, width) != (size, size):
             if height % size == 0 and width % size == 0:
                 row_block = height // size

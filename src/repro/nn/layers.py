@@ -1,10 +1,21 @@
 """Neural-network layers with explicit forward / backward passes.
 
-All layers operate on NCHW float64 arrays (or ``(N, features)`` for dense
-layers).  Each layer stores whatever it needs from the forward pass to
-compute gradients in the backward pass; parameters and their gradients are
-exposed through ``params()`` / ``grads()`` so optimisers can update them in
-place.
+All layers operate on NCHW arrays (or ``(N, features)`` for dense layers).
+Each layer stores whatever it needs from the forward pass to compute
+gradients in the backward pass; parameters and their gradients are exposed
+through ``params()`` / ``grads()`` so optimisers can update them in place.
+
+Every layer honors its ``training`` flag: in training mode (the default)
+``forward`` caches the state ``backward`` needs; in eval mode
+(``training=False``, set via ``Sequential.set_training``) no backward caches
+are allocated at all — no ReLU masks, no stored sigmoid outputs, no max-pool
+argmax, no retained im2col columns — and ``backward`` raises immediately.
+Eval mode also honors the input dtype end to end: float32 inputs stay
+float32 through every layer (parameters are cast on the fly, a negligible
+cost next to the matmuls they feed), which roughly halves the memory
+traffic of an inference pass.  ``Conv2D`` additionally reuses one
+preallocated im2col buffer across eval-mode calls instead of reallocating
+the (large) column matrix every forward.
 """
 
 from __future__ import annotations
@@ -20,16 +31,26 @@ from repro.nn.initializers import he_normal, xavier_uniform, zeros_init
 class Layer(abc.ABC):
     """Base class for all layers."""
 
-    #: whether the layer is in training mode (affects e.g. dropout)
+    #: whether the layer is in training mode; eval mode (``False``) skips all
+    #: backward caches and forbids :meth:`backward`
     training: bool = True
 
     @abc.abstractmethod
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        """Compute the layer output and cache what backward needs."""
+        """Compute the layer output; in training mode, cache what backward needs."""
 
     @abc.abstractmethod
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
         """Propagate ``dL/d(output)`` to ``dL/d(input)``, accumulating parameter grads."""
+
+    def _require_training(self) -> None:
+        """Raise a clear error when backward is attempted in eval mode."""
+        if not self.training:
+            raise RuntimeError(
+                f"{type(self).__name__}.backward called in eval mode: forward "
+                "passes with training=False keep no caches; call "
+                "set_training(True) and re-run forward before backward"
+            )
 
     def params(self) -> dict[str, np.ndarray]:
         """Trainable parameters keyed by name (empty for stateless layers)."""
@@ -57,10 +78,14 @@ class ReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if not self.training:
+            self._mask = None
+            return np.maximum(inputs, 0)
         self._mask = inputs > 0
         return inputs * self._mask
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_training()
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return grad_output * self._mask
@@ -76,10 +101,16 @@ class LeakyReLU(Layer):
         self._mask: np.ndarray | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
+        if not self.training:
+            self._mask = None
+            return np.where(
+                inputs > 0, inputs, inputs.dtype.type(self.negative_slope) * inputs
+            )
         self._mask = inputs > 0
         return np.where(self._mask, inputs, self.negative_slope * inputs)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_training()
         if self._mask is None:
             raise RuntimeError("backward called before forward")
         return np.where(self._mask, grad_output, self.negative_slope * grad_output)
@@ -92,16 +123,20 @@ class Sigmoid(Layer):
         self._output: np.ndarray | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        # Numerically stable sigmoid.
-        out = np.empty_like(inputs, dtype=np.float64)
+        # Numerically stable sigmoid, preserving a floating input dtype so a
+        # float32 inference pass stays float32 (integer inputs promote to
+        # float64 as before).
+        dtype = inputs.dtype if np.issubdtype(inputs.dtype, np.floating) else np.float64
+        out = np.empty(inputs.shape, dtype=dtype)
         positive = inputs >= 0
         out[positive] = 1.0 / (1.0 + np.exp(-inputs[positive]))
         exp_x = np.exp(inputs[~positive])
         out[~positive] = exp_x / (1.0 + exp_x)
-        self._output = out
+        self._output = out if self.training else None
         return out
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_training()
         if self._output is None:
             raise RuntimeError("backward called before forward")
         return grad_output * self._output * (1.0 - self._output)
@@ -114,10 +149,11 @@ class Flatten(Layer):
         self._input_shape: tuple[int, ...] | None = None
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
-        self._input_shape = inputs.shape
+        self._input_shape = inputs.shape if self.training else None
         return inputs.reshape(inputs.shape[0], -1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_training()
         if self._input_shape is None:
             raise RuntimeError("backward called before forward")
         return grad_output.reshape(self._input_shape)
@@ -144,10 +180,25 @@ class Dense(Layer):
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         if inputs.ndim != 2:
             raise ValueError(f"Dense expects (N, features), got shape {inputs.shape}")
+        if not self.training:
+            self._inputs = None
+            # Cast the (small) parameters to the activation dtype instead of
+            # letting the matmul promote the (large) activations to float64.
+            # Only floating activations qualify — casting float weights to an
+            # integer dtype would truncate them to garbage.
+            dtype = (
+                inputs.dtype
+                if np.issubdtype(inputs.dtype, np.floating)
+                else self.weight.dtype
+            )
+            weight = self.weight.astype(dtype, copy=False)
+            bias = self.bias.astype(dtype, copy=False)
+            return inputs @ weight + bias
         self._inputs = inputs
         return inputs @ self.weight + self.bias
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_training()
         if self._inputs is None:
             raise RuntimeError("backward called before forward")
         self.grad_weight += self._inputs.T @ grad_output
@@ -165,9 +216,20 @@ class Dense(Layer):
 # Convolution via im2col
 # ----------------------------------------------------------------------
 def _im2col(
-    inputs: np.ndarray, kernel: int, stride: int, padding: int
+    inputs: np.ndarray,
+    kernel: int,
+    stride: int,
+    padding: int,
+    buffers: dict[str, np.ndarray] | None = None,
 ) -> tuple[np.ndarray, int, int]:
-    """Unfold ``(N, C, H, W)`` into ``(N * out_h * out_w, C * kernel * kernel)``."""
+    """Unfold ``(N, C, H, W)`` into ``(N * out_h * out_w, C * kernel * kernel)``.
+
+    ``buffers`` (owned by the calling layer) lets repeated calls with the
+    same geometry and dtype reuse the two large intermediates — the strided
+    gather array and the flattened column matrix — instead of reallocating
+    them every forward; inference over a stream hits the same shape on every
+    call, so after the first frame the unfold allocates nothing.
+    """
     n, channels, height, width = inputs.shape
     out_h = (height + 2 * padding - kernel) // stride + 1
     out_w = (width + 2 * padding - kernel) // stride + 1
@@ -179,14 +241,26 @@ def _im2col(
     padded = np.pad(
         inputs, ((0, 0), (0, 0), (padding, padding), (padding, padding)), mode="constant"
     )
-    cols = np.empty((n, channels, kernel, kernel, out_h, out_w), dtype=inputs.dtype)
+
+    def _buffer(key: str, shape: tuple[int, ...]) -> np.ndarray:
+        if buffers is None:
+            return np.empty(shape, dtype=inputs.dtype)
+        existing = buffers.get(key)
+        if existing is None or existing.shape != shape or existing.dtype != inputs.dtype:
+            existing = np.empty(shape, dtype=inputs.dtype)
+            buffers[key] = existing
+        return existing
+
+    cols = _buffer("gather", (n, channels, kernel, kernel, out_h, out_w))
     for ky in range(kernel):
         y_max = ky + stride * out_h
         for kx in range(kernel):
             x_max = kx + stride * out_w
             cols[:, :, ky, kx, :, :] = padded[:, :, ky:y_max:stride, kx:x_max:stride]
-    cols = cols.transpose(0, 4, 5, 1, 2, 3).reshape(n * out_h * out_w, -1)
-    return cols, out_h, out_w
+    transposed = cols.transpose(0, 4, 5, 1, 2, 3)
+    flat = _buffer("flat", (n * out_h * out_w, channels * kernel * kernel))
+    np.copyto(flat.reshape(n, out_h, out_w, channels, kernel, kernel), transposed)
+    return flat, out_h, out_w
 
 
 def _col2im(
@@ -242,16 +316,41 @@ class Conv2D(Layer):
         self._cols: np.ndarray | None = None
         self._input_shape: tuple[int, int, int, int] | None = None
         self._out_hw: tuple[int, int] | None = None
+        # Eval-mode im2col scratch, reused across calls (see _im2col).
+        self._infer_buffers: dict[str, np.ndarray] = {}
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         if inputs.ndim != 4 or inputs.shape[1] != self.in_channels:
             raise ValueError(
                 f"Conv2D expects (N, {self.in_channels}, H, W), got {inputs.shape}"
             )
+        n = inputs.shape[0]
+        if not self.training:
+            self._cols = None
+            self._input_shape = None
+            self._out_hw = None
+            # See Dense.forward: keep float weights out of integer dtypes.
+            dtype = (
+                inputs.dtype
+                if np.issubdtype(inputs.dtype, np.floating)
+                else self.weight.dtype
+            )
+            cols, out_h, out_w = _im2col(
+                inputs.astype(dtype, copy=False),
+                self.kernel_size,
+                self.stride,
+                self.padding,
+                buffers=self._infer_buffers,
+            )
+            weight_matrix = self.weight.reshape(self.out_channels, -1).astype(
+                dtype, copy=False
+            )
+            bias = self.bias.astype(dtype, copy=False)
+            output = cols @ weight_matrix.T + bias
+            return output.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         cols, out_h, out_w = _im2col(inputs, self.kernel_size, self.stride, self.padding)
         weight_matrix = self.weight.reshape(self.out_channels, -1)
         output = cols @ weight_matrix.T + self.bias
-        n = inputs.shape[0]
         output = output.reshape(n, out_h, out_w, self.out_channels).transpose(0, 3, 1, 2)
         self._cols = cols
         self._input_shape = inputs.shape  # type: ignore[assignment]
@@ -259,6 +358,7 @@ class Conv2D(Layer):
         return output
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_training()
         if self._cols is None or self._input_shape is None or self._out_hw is None:
             raise RuntimeError("backward called before forward")
         out_h, out_w = self._out_hw
@@ -309,12 +409,19 @@ class MaxPool2D(Layer):
             )
         out_h, out_w = height // p, width // p
         reshaped = inputs.reshape(n, channels, out_h, p, out_w, p)
+        if not self.training:
+            # Eval skips the argmax entirely — it is only needed to route
+            # gradients, and costs as much as the max itself.
+            self._argmax = None
+            self._inputs_shape = None
+            return reshaped.max(axis=(3, 5))
         windows = reshaped.transpose(0, 1, 2, 4, 3, 5).reshape(n, channels, out_h, out_w, p * p)
         self._argmax = windows.argmax(axis=-1)
         self._inputs_shape = inputs.shape
         return windows.max(axis=-1)
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_training()
         if self._argmax is None or self._inputs_shape is None:
             raise RuntimeError("backward called before forward")
         n, channels, height, width = self._inputs_shape
@@ -340,10 +447,11 @@ class GlobalAveragePooling2D(Layer):
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         if inputs.ndim != 4:
             raise ValueError(f"GAP expects NCHW input, got {inputs.shape}")
-        self._input_shape = inputs.shape
+        self._input_shape = inputs.shape if self.training else None
         return inputs.mean(axis=(2, 3))
 
     def backward(self, grad_output: np.ndarray) -> np.ndarray:
+        self._require_training()
         if self._input_shape is None:
             raise RuntimeError("backward called before forward")
         n, channels, height, width = self._input_shape

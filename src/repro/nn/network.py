@@ -36,6 +36,8 @@ class Sequential:
 
     def __init__(self, layers: Sequence[Layer]) -> None:
         self.layers = list(layers)
+        #: mirrors the layers' mode; toggle via :meth:`set_training`
+        self.training = True
 
     def forward(self, inputs: np.ndarray) -> np.ndarray:
         output = inputs
@@ -68,6 +70,13 @@ class Sequential:
             layer.zero_grad()
 
     def set_training(self, training: bool) -> None:
+        """Switch every layer between training and eval mode.
+
+        Eval mode (``False``) is the inference fast path: layers keep no
+        backward caches, honor the input dtype (float32 stays float32), and
+        ``backward`` raises until training mode is restored.
+        """
+        self.training = training
         for layer in self.layers:
             layer.training = training
 
@@ -122,14 +131,21 @@ class MultiHeadNetwork:
             raise ValueError("a multi-head network needs at least one head")
         self.trunk = trunk
         self.heads = dict(heads)
+        self.training = True
         self._trunk_output: np.ndarray | None = None
 
     def forward(self, inputs: np.ndarray) -> dict[str, np.ndarray]:
         trunk_output = self.trunk.forward(inputs)
-        self._trunk_output = trunk_output
+        self._trunk_output = trunk_output if self.training else None
         return {name: head.forward(trunk_output) for name, head in self.heads.items()}
 
     def backward(self, head_grads: Mapping[str, np.ndarray]) -> np.ndarray:
+        if not self.training:
+            raise RuntimeError(
+                "MultiHeadNetwork.backward called in eval mode: forward passes "
+                "with set_training(False) keep no caches; call "
+                "set_training(True) and re-run forward before backward"
+            )
         if self._trunk_output is None:
             raise RuntimeError("backward called before forward")
         unknown = set(head_grads) - set(self.heads)
@@ -168,6 +184,8 @@ class MultiHeadNetwork:
             head.zero_grad()
 
     def set_training(self, training: bool) -> None:
+        """Switch the trunk and every head between training and eval mode."""
+        self.training = training
         self.trunk.set_training(training)
         for head in self.heads.values():
             head.set_training(training)

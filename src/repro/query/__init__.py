@@ -47,6 +47,14 @@ from repro.query.executor import (
     WindowStats,
     brute_force_execute,
 )
+from repro.query.temporal import (
+    DeltaGate,
+    TemporalConfig,
+    TemporalScan,
+    TemporalStats,
+    delta_score,
+    frame_signature,
+)
 
 __all__ = [
     "Query",
@@ -79,4 +87,10 @@ __all__ = [
     "WindowAggregateEstimate",
     "AggregateExecutionResult",
     "brute_force_execute",
+    "TemporalConfig",
+    "TemporalStats",
+    "TemporalScan",
+    "DeltaGate",
+    "delta_score",
+    "frame_signature",
 ]

@@ -39,6 +39,18 @@ per-query results identical to running each query alone and a
 :class:`~repro.cost.SharedCostReport` separating the work charged once from
 what each query would have paid standalone.
 
+Passing a :class:`~repro.query.temporal.TemporalConfig` (``temporal=...``)
+to :meth:`~StreamingQueryExecutor.execute`,
+:meth:`~StreamingQueryExecutor.execute_many` or
+:meth:`~StreamingQueryExecutor.execute_aggregate` additionally exploits
+*temporal coherence*: frames whose cheap change signature barely differs
+from the last keyframe reuse that keyframe's filter predictions and
+detector verdict instead of recomputing them, and over stable segments the
+scan strides past frames entirely, localizing match boundaries by binary
+search (see :mod:`repro.query.temporal`).  Avoided invocations are recorded
+as reused calls on the cost breakdown; the default ``exact=True`` mode
+verifies every reuse so results stay bit-identical to a non-temporal run.
+
 Costs are accounted twice:
 
 * *simulated* cost, using the paper's measured per-component latencies
@@ -67,7 +79,14 @@ from repro.filters.base import FilterPrediction, FrameFilter
 from repro.query.ast import Query
 from repro.query.evaluation import evaluate_predicates_on_detections
 from repro.query.planner import FilterCascade, merge_cascade_steps
-from repro.video.stream import VideoStream
+from repro.query.temporal import (
+    TemporalConfig,
+    TemporalScan,
+    TemporalStats,
+    clocks_detached,
+    with_component_reuses,
+)
+from repro.video.stream import Frame, VideoStream
 
 if TYPE_CHECKING:  # runtime import would be circular; see execute_aggregate
     from repro.aggregates.monitor import AggregateQuerySpec, MonitoringReport
@@ -145,7 +164,9 @@ class QueryExecutionResult:
     hopping-window instance (in stream order); ``matched_frames`` stays the
     flat match set over all frames covered by any window, so the union of the
     per-window match sets always equals ``matched_frames``.  Un-windowed
-    executions have ``windows=None``.
+    executions have ``windows=None``.  ``temporal`` carries the
+    reuse/stride telemetry of a temporally-coherent execution (``None`` when
+    the scan ran without a :class:`~repro.query.temporal.TemporalConfig`).
     """
 
     query_name: str
@@ -153,6 +174,7 @@ class QueryExecutionResult:
     matched_frames: tuple[int, ...]
     stats: ExecutionStats
     windows: tuple[WindowResult, ...] | None = None
+    temporal: TemporalStats | None = None
 
     @property
     def num_matches(self) -> int:
@@ -241,6 +263,8 @@ class SharedExecutionStats:
     cost: SharedCostReport
     wall_clock_seconds: float
     batch_size: int | None = None
+    #: reuse/stride telemetry of a temporally-coherent shared scan
+    temporal: TemporalStats | None = None
 
     @property
     def savings_ratio(self) -> float:
@@ -318,6 +342,47 @@ class AggregateExecutionResult:
         return tuple(report for window in self.windows for report in window.reports)
 
 
+@dataclass(frozen=True)
+class _TemporalOutcome:
+    """Cached per-frame outcome of a single-query temporal scan.
+
+    ``components`` names the filters the evaluation ran (in cascade order,
+    deduped by identity) — the invocations a reuse of this outcome avoids.
+    """
+
+    passed: bool
+    matched: bool
+    components: tuple[str, ...]
+
+
+@dataclass(frozen=True)
+class _QueryVerdict:
+    """One query's share of a shared-scan frame outcome.
+
+    ``components`` holds the ``(name, latency_ms)`` cost components a
+    standalone run of this query would have charged for the frame.
+    """
+
+    components: tuple[tuple[str, float], ...]
+    passed: bool
+    matched: bool
+
+
+@dataclass(frozen=True)
+class _SharedTemporalOutcome:
+    """Cached per-frame outcome of a multi-query temporal scan.
+
+    ``per_query[i]`` is ``None`` for queries whose window coverage excludes
+    the frame; ``computed_components`` names the distinct filters the shared
+    evaluation actually ran, and ``detector_ran`` whether any query's
+    cascade survivors triggered the detector.
+    """
+
+    per_query: tuple[_QueryVerdict | None, ...]
+    computed_components: tuple[str, ...]
+    detector_ran: bool
+
+
 class StreamingQueryExecutor:
     """Executes queries over a stream with an optional filter cascade."""
 
@@ -333,6 +398,7 @@ class StreamingQueryExecutor:
         frame_indices: Sequence[int] | None = None,
         batch_size: int | None = None,
         include_partial_windows: bool = True,
+        temporal: TemporalConfig | None = None,
     ) -> QueryExecutionResult:
         """Run ``query`` over ``stream`` (optionally restricted to ``frame_indices``).
 
@@ -352,9 +418,24 @@ class StreamingQueryExecutor:
         are never scanned regardless).  Pass ``False`` for the paper's
         fixed-size-window semantics, which silently drop the remainder — see
         :meth:`~repro.aggregates.windows.HoppingWindow.windows_over`.
+
+        ``temporal`` enables the temporal-coherence layer: stable frames
+        reuse the last keyframe's filter predictions and detector verdict,
+        and with ``max_stride > 1`` stable segments are strided past
+        entirely (see :mod:`repro.query.temporal`).  Temporal gating is
+        inherently sequential, so it cannot be combined with ``batch_size``.
+        With the default ``exact=True`` the matched frames (and windows) are
+        bit-identical to a non-temporal run while the simulated cost shows
+        what the approximate mode would charge; with ``exact=False`` reused
+        verdicts are trusted as-is.
         """
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be positive: {batch_size}")
+        if temporal is not None and batch_size is not None:
+            raise ValueError(
+                "temporal execution is sequential; combining temporal= with "
+                "batch_size= is not supported"
+            )
         indices = list(frame_indices) if frame_indices is not None else list(range(len(stream)))
         window_bounds = _window_bounds_for(query, stream, include_partial_windows)
         if window_bounds is not None:
@@ -375,23 +456,34 @@ class StreamingQueryExecutor:
             self.detector.clock = self.clock
 
         started = time.perf_counter()
+        temporal_stats: TemporalStats | None = None
         try:
-            if batch_size is None:
-                counters = self._run_sequential(query, stream, cascade, indices)
+            if temporal is not None:
+                (
+                    matched,
+                    passed,
+                    filter_invocations,
+                    detector_invocations,
+                    temporal_stats,
+                ) = self._run_temporal(query, stream, cascade, indices, temporal)
             else:
-                counters = self._run_batched(query, stream, cascade, indices, batch_size)
+                if batch_size is None:
+                    counters = self._run_sequential(query, stream, cascade, indices)
+                else:
+                    counters = self._run_batched(query, stream, cascade, indices, batch_size)
+                matched, passed, filter_invocations = counters
+                detector_invocations = len(passed)
         finally:
             for frame_filter, previous in previous_clocks:
                 frame_filter.clock = previous
             if hasattr(self.detector, "clock"):
                 self.detector.clock = previous_detector_clock
         elapsed = time.perf_counter() - started
-        matched, passed, filter_invocations = counters
 
         stats = ExecutionStats(
             frames_scanned=len(indices),
             frames_passed_filters=len(passed),
-            detector_invocations=len(passed),
+            detector_invocations=detector_invocations,
             filter_invocations=filter_invocations,
             simulated_cost=self.clock.delta_since(cost_baseline),
             wall_clock_seconds=elapsed,
@@ -408,6 +500,7 @@ class StreamingQueryExecutor:
             matched_frames=tuple(matched),
             stats=stats,
             windows=windows,
+            temporal=temporal_stats,
         )
 
     # ------------------------------------------------------------------
@@ -423,6 +516,7 @@ class StreamingQueryExecutor:
         frame_indices: Sequence[int] | None = None,
         batch_size: int | None = None,
         include_partial_windows: bool = True,
+        temporal: TemporalConfig | None = None,
     ) -> MultiQueryExecutionResult:
         """Run several queries over ``stream`` in one shared scan.
 
@@ -461,12 +555,27 @@ class StreamingQueryExecutor:
         :meth:`execute`: each windowed query is restricted to the frames its
         windows cover and its matches are split into per-window results;
         un-windowed queries in the same call scan every frame.
+
+        ``temporal`` applies the temporal-coherence layer to the *shared*
+        scan: the change signature is query-independent, so one stable frame
+        reuses the entire shared outcome — every query's cascade verdicts
+        and the detector verdict at once.  Reuse only happens between frames
+        covered by the same set of queries (window boundaries force a
+        keyframe refresh).  As in :meth:`execute`, temporal gating is
+        sequential and cannot be combined with ``batch_size``; in the
+        default ``exact=True`` mode per-query results stay bit-identical to
+        a non-temporal run.
         """
         queries = list(queries)
         if not queries:
             raise ValueError("execute_many needs at least one query")
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be positive: {batch_size}")
+        if temporal is not None and batch_size is not None:
+            raise ValueError(
+                "temporal execution is sequential; combining temporal= with "
+                "batch_size= is not supported"
+            )
         if cascades is None:
             if planner is not None:
                 query_cascades = [planner.plan(query) for query in queries]
@@ -528,73 +637,46 @@ class StreamingQueryExecutor:
         ]
         shared_filter_computations = 0
         shared_detector_invocations = 0
+        temporal_stats: TemporalStats | None = None
         chunk_size = batch_size if batch_size is not None else 1
 
         started = time.perf_counter()
         try:
-            for start in range(0, len(union_indices), chunk_size):
-                chunk = union_indices[start : start + chunk_size]
-                # (a) one materialisation per frame, shared by every query
-                frames = {index: stream.frame(index) for index in chunk}
-                # (b) cross-query caches: predictions by filter identity,
-                # check outcomes by deduped step
-                predictions: dict[tuple, dict[int, FilterPrediction]] = {}
-                outcomes: dict[tuple[int, int], bool] = {}
-                alive_sets: list[set[int]] = []
-                for position, (cascade, step_positions) in enumerate(
-                    zip(query_cascades, assignments)
-                ):
-                    alive = [index for index in chunk if index in member_sets[position]]
-                    counted: dict[int, set[tuple]] = {}
-                    for step, unique_position in zip(cascade, step_positions):
-                        if not alive:
-                            break
-                        identity = step.frame_filter.identity
-                        per_filter = predictions.setdefault(identity, {})
-                        missing = [index for index in alive if index not in per_filter]
-                        if missing:
-                            batch = step.frame_filter.predict_batch(
-                                [frames[index] for index in missing]
-                            )
-                            shared_filter_computations += len(missing)
-                            for index, prediction in zip(missing, batch):
-                                per_filter[index] = prediction
-                        # Attribute one invocation per (query, frame, filter),
-                        # exactly as a standalone run of this query would pay.
-                        component = (step.frame_filter.name, step.frame_filter.latency_ms)
-                        for index in alive:
-                            seen = counted.setdefault(index, set())
-                            if identity not in seen:
-                                seen.add(identity)
-                                filter_invocations[position] += 1
-                                attributed_calls[position][component] = (
-                                    attributed_calls[position].get(component, 0) + 1
-                                )
-                        still_alive = []
-                        for index in alive:
-                            outcome_key = (unique_position, index)
-                            if outcome_key not in outcomes:
-                                outcomes[outcome_key] = step.passes(per_filter[index])
-                            if outcomes[outcome_key]:
-                                still_alive.append(index)
-                        alive = still_alive
-                    passed[position].extend(alive)
-                    alive_sets.append(set(alive))
-                # (c) detector once per union survivor; detections evaluated
-                # against each interested query's predicates
-                for index in chunk:
-                    interested = [
-                        position
-                        for position in range(num_queries)
-                        if index in alive_sets[position]
-                    ]
-                    if not interested:
-                        continue
-                    detections = self.detector.detect(frames[index])
-                    shared_detector_invocations += 1
-                    for position in interested:
-                        if evaluate_predicates_on_detections(queries[position], detections):
-                            matched[position].append(index)
+            if temporal is not None:
+                (
+                    matched,
+                    passed,
+                    filter_invocations,
+                    attributed_calls,
+                    shared_filter_computations,
+                    shared_detector_invocations,
+                    temporal_stats,
+                ) = self._run_many_temporal(
+                    queries,
+                    stream,
+                    query_cascades,
+                    assignments,
+                    member_sets,
+                    union_indices,
+                    temporal,
+                )
+            else:
+                (
+                    shared_filter_computations,
+                    shared_detector_invocations,
+                ) = self._run_many_chunked(
+                    queries,
+                    stream,
+                    query_cascades,
+                    assignments,
+                    member_sets,
+                    union_indices,
+                    chunk_size,
+                    matched,
+                    passed,
+                    filter_invocations,
+                    attributed_calls,
+                )
         finally:
             for frame_filter, previous in previous_clocks:
                 frame_filter.clock = previous
@@ -664,8 +746,96 @@ class StreamingQueryExecutor:
             cost=SharedCostReport(shared=shared_breakdown, attributed=attributed),
             wall_clock_seconds=elapsed,
             batch_size=batch_size,
+            temporal=temporal_stats,
         )
         return MultiQueryExecutionResult(results=tuple(results), shared=shared_stats)
+
+    def _run_many_chunked(
+        self,
+        queries: Sequence[Query],
+        stream: VideoStream,
+        query_cascades: Sequence[FilterCascade],
+        assignments: Sequence[Sequence[int]],
+        member_sets: Sequence[set[int]],
+        union_indices: Sequence[int],
+        chunk_size: int,
+        matched: list[list[int]],
+        passed: list[list[int]],
+        filter_invocations: list[int],
+        attributed_calls: list[dict[tuple[str, float], int]],
+    ) -> tuple[int, int]:
+        """The shared multi-query chunk loop (non-temporal).
+
+        Mutates the per-query accumulators in place and returns the shared
+        scan's actual ``(filter_computations, detector_invocations)``.
+        """
+        num_queries = len(queries)
+        shared_filter_computations = 0
+        shared_detector_invocations = 0
+        for start in range(0, len(union_indices), chunk_size):
+            chunk = list(union_indices[start : start + chunk_size])
+            # (a) one materialisation per frame, shared by every query
+            frames = {index: stream.frame(index) for index in chunk}
+            # (b) cross-query caches: predictions by filter identity,
+            # check outcomes by deduped step
+            predictions: dict[tuple, dict[int, FilterPrediction]] = {}
+            outcomes: dict[tuple[int, int], bool] = {}
+            alive_sets: list[set[int]] = []
+            for position, (cascade, step_positions) in enumerate(
+                zip(query_cascades, assignments)
+            ):
+                alive = [index for index in chunk if index in member_sets[position]]
+                counted: dict[int, set[tuple]] = {}
+                for step, unique_position in zip(cascade, step_positions):
+                    if not alive:
+                        break
+                    identity = step.frame_filter.identity
+                    per_filter = predictions.setdefault(identity, {})
+                    missing = [index for index in alive if index not in per_filter]
+                    if missing:
+                        batch = step.frame_filter.predict_batch(
+                            [frames[index] for index in missing]
+                        )
+                        shared_filter_computations += len(missing)
+                        for index, prediction in zip(missing, batch):
+                            per_filter[index] = prediction
+                    # Attribute one invocation per (query, frame, filter),
+                    # exactly as a standalone run of this query would pay.
+                    component = (step.frame_filter.name, step.frame_filter.latency_ms)
+                    for index in alive:
+                        seen = counted.setdefault(index, set())
+                        if identity not in seen:
+                            seen.add(identity)
+                            filter_invocations[position] += 1
+                            attributed_calls[position][component] = (
+                                attributed_calls[position].get(component, 0) + 1
+                            )
+                    still_alive = []
+                    for index in alive:
+                        outcome_key = (unique_position, index)
+                        if outcome_key not in outcomes:
+                            outcomes[outcome_key] = step.passes(per_filter[index])
+                        if outcomes[outcome_key]:
+                            still_alive.append(index)
+                    alive = still_alive
+                passed[position].extend(alive)
+                alive_sets.append(set(alive))
+            # (c) detector once per union survivor; detections evaluated
+            # against each interested query's predicates
+            for index in chunk:
+                interested = [
+                    position
+                    for position in range(num_queries)
+                    if index in alive_sets[position]
+                ]
+                if not interested:
+                    continue
+                detections = self.detector.detect(frames[index])
+                shared_detector_invocations += 1
+                for position in interested:
+                    if evaluate_predicates_on_detections(queries[position], detections):
+                        matched[position].append(index)
+        return shared_filter_computations, shared_detector_invocations
 
     # ------------------------------------------------------------------
     # Execution modes
@@ -746,6 +916,261 @@ class StreamingQueryExecutor:
         return matched, passed_indices, filter_invocations
 
     # ------------------------------------------------------------------
+    # Temporal-coherence execution (see repro.query.temporal)
+    # ------------------------------------------------------------------
+    def _run_temporal(
+        self,
+        query: Query,
+        stream: VideoStream,
+        cascade: FilterCascade,
+        indices: Sequence[int],
+        temporal: TemporalConfig,
+    ) -> tuple[list[int], list[int], int, int, TemporalStats]:
+        """Temporally-coherent sequential execution of one query.
+
+        Returns ``(matched, passed, filter_invocations,
+        detector_invocations, stats)`` where the invocation counters reflect
+        the work actually performed — reused and stride-skipped frames show
+        up as reused calls on the clock and in ``stats``, not as
+        invocations.
+        """
+        filter_invocations = 0
+        detector_invocations = 0
+        filter_reuses = 0
+        detector_reuses = 0
+        detector_component = getattr(self.detector, "name", "detector")
+
+        def evaluate_frame(frame: Frame, charged: bool) -> _TemporalOutcome:
+            nonlocal filter_invocations, detector_invocations
+            predictions: dict[tuple, FilterPrediction] = {}
+            components: list[str] = []
+            passed = True
+            for step in cascade:
+                key = step.frame_filter.identity
+                if key not in predictions:
+                    predictions[key] = step.frame_filter.predict(frame)
+                    components.append(step.frame_filter.name)
+                    if charged:
+                        filter_invocations += 1
+                if not step.passes(predictions[key]):
+                    passed = False
+                    break
+            matched = False
+            if passed:
+                detections = self.detector.detect(frame)
+                if charged:
+                    detector_invocations += 1
+                matched = evaluate_predicates_on_detections(query, detections)
+            return _TemporalOutcome(
+                passed=passed, matched=matched, components=tuple(components)
+            )
+
+        def verify(frame: Frame) -> _TemporalOutcome:
+            with clocks_detached(cascade.filters, self.detector):
+                return evaluate_frame(frame, charged=False)
+
+        def reuse_charge(outcome: _TemporalOutcome) -> None:
+            nonlocal filter_reuses, detector_reuses
+            for component in outcome.components:
+                self.clock.reuse(component)
+            filter_reuses += len(outcome.components)
+            if outcome.passed:
+                self.clock.reuse(detector_component)
+                detector_reuses += 1
+
+        scan = TemporalScan(
+            temporal,
+            render=stream.frame,
+            compute=lambda frame: evaluate_frame(frame, charged=True),
+            verify=verify,
+            reuse_charge=reuse_charge,
+            verdict=lambda outcome: (outcome.passed, outcome.matched),
+        )
+        outcomes, stats = scan.run(indices)
+        matched = [index for index, outcome in zip(indices, outcomes) if outcome.matched]
+        passed = [index for index, outcome in zip(indices, outcomes) if outcome.passed]
+        return (
+            matched,
+            passed,
+            filter_invocations,
+            detector_invocations,
+            with_component_reuses(stats, filter_reuses, detector_reuses),
+        )
+
+    def _run_many_temporal(
+        self,
+        queries: Sequence[Query],
+        stream: VideoStream,
+        query_cascades: Sequence[FilterCascade],
+        assignments: Sequence[Sequence[int]],
+        member_sets: Sequence[set[int]],
+        union_indices: Sequence[int],
+        temporal: TemporalConfig,
+    ) -> tuple[
+        list[list[int]],
+        list[list[int]],
+        list[int],
+        list[dict[tuple[str, float], int]],
+        int,
+        int,
+        TemporalStats,
+    ]:
+        """Temporally-coherent shared scan over several queries.
+
+        The change signature is query-independent, so one gate decision
+        covers every query at once: a stable frame reuses the keyframe's
+        whole shared outcome (all cascade verdicts plus the detector
+        verdict).  Reuse and stride inheritance only happen between frames
+        covered by the same set of queries — the scan's ``context_key`` —
+        so a windowed query's coverage boundary always forces a keyframe.
+        Attribution (what each query would have paid standalone) is taken
+        from the outcome in effect for the frame, exactly as the
+        non-temporal loop attributes per (query, frame, filter).
+        """
+        num_queries = len(queries)
+        shared_filter_computations = 0
+        shared_detector_invocations = 0
+        filter_reuses = 0
+        detector_reuses = 0
+        detector_component = getattr(self.detector, "name", "detector")
+        distinct_filters: list[FrameFilter] = []
+        for cascade in query_cascades:
+            for frame_filter in cascade.filters:
+                if all(frame_filter is not existing for existing in distinct_filters):
+                    distinct_filters.append(frame_filter)
+
+        coverage_cache: dict[int, tuple[int, ...]] = {}
+
+        def context_key(index: int) -> tuple[int, ...]:
+            key = coverage_cache.get(index)
+            if key is None:
+                key = tuple(
+                    position
+                    for position in range(num_queries)
+                    if index in member_sets[position]
+                )
+                coverage_cache[index] = key
+            return key
+
+        def evaluate_frame(frame: Frame, charged: bool) -> _SharedTemporalOutcome:
+            nonlocal shared_filter_computations, shared_detector_invocations
+            index = frame.index
+            predictions: dict[tuple, FilterPrediction] = {}
+            step_outcomes: dict[int, bool] = {}
+            computed: list[str] = []
+            verdicts: list[list] = [None] * num_queries  # type: ignore[list-item]
+            survivors: list[int] = []
+            for position, (cascade, step_positions) in enumerate(
+                zip(query_cascades, assignments)
+            ):
+                if index not in member_sets[position]:
+                    continue
+                alive = True
+                counted: set[tuple] = set()
+                components: list[tuple[str, float]] = []
+                for step, unique_position in zip(cascade, step_positions):
+                    if not alive:
+                        break
+                    identity = step.frame_filter.identity
+                    if identity not in predictions:
+                        predictions[identity] = step.frame_filter.predict(frame)
+                        computed.append(step.frame_filter.name)
+                        if charged:
+                            shared_filter_computations += 1
+                    if identity not in counted:
+                        counted.add(identity)
+                        components.append(
+                            (step.frame_filter.name, step.frame_filter.latency_ms)
+                        )
+                    if unique_position not in step_outcomes:
+                        step_outcomes[unique_position] = step.passes(
+                            predictions[identity]
+                        )
+                    if not step_outcomes[unique_position]:
+                        alive = False
+                verdicts[position] = [tuple(components), alive, False]
+                if alive:
+                    survivors.append(position)
+            detector_ran = False
+            if survivors:
+                detections = self.detector.detect(frame)
+                detector_ran = True
+                if charged:
+                    shared_detector_invocations += 1
+                for position in survivors:
+                    if evaluate_predicates_on_detections(queries[position], detections):
+                        verdicts[position][2] = True
+            return _SharedTemporalOutcome(
+                per_query=tuple(
+                    _QueryVerdict(components=entry[0], passed=entry[1], matched=entry[2])
+                    if entry is not None
+                    else None
+                    for entry in verdicts
+                ),
+                computed_components=tuple(computed),
+                detector_ran=detector_ran,
+            )
+
+        def verify(frame: Frame) -> _SharedTemporalOutcome:
+            with clocks_detached(distinct_filters, self.detector):
+                return evaluate_frame(frame, charged=False)
+
+        def reuse_charge(outcome: _SharedTemporalOutcome) -> None:
+            nonlocal filter_reuses, detector_reuses
+            for component in outcome.computed_components:
+                self.clock.reuse(component)
+            filter_reuses += len(outcome.computed_components)
+            if outcome.detector_ran:
+                self.clock.reuse(detector_component)
+                detector_reuses += 1
+
+        def verdict(outcome: _SharedTemporalOutcome) -> tuple:
+            return tuple(
+                (entry.passed, entry.matched) if entry is not None else None
+                for entry in outcome.per_query
+            )
+
+        scan = TemporalScan(
+            temporal,
+            render=stream.frame,
+            compute=lambda frame: evaluate_frame(frame, charged=True),
+            verify=verify,
+            reuse_charge=reuse_charge,
+            verdict=verdict,
+            context_key=context_key,
+        )
+        outcomes, stats = scan.run(union_indices)
+
+        matched: list[list[int]] = [[] for _ in range(num_queries)]
+        passed: list[list[int]] = [[] for _ in range(num_queries)]
+        filter_invocations = [0] * num_queries
+        attributed_calls: list[dict[tuple[str, float], int]] = [
+            {} for _ in range(num_queries)
+        ]
+        for index, outcome in zip(union_indices, outcomes):
+            for position, entry in enumerate(outcome.per_query):
+                if entry is None:
+                    continue
+                filter_invocations[position] += len(entry.components)
+                for component in entry.components:
+                    attributed_calls[position][component] = (
+                        attributed_calls[position].get(component, 0) + 1
+                    )
+                if entry.passed:
+                    passed[position].append(index)
+                if entry.matched:
+                    matched[position].append(index)
+        return (
+            matched,
+            passed,
+            filter_invocations,
+            attributed_calls,
+            shared_filter_computations,
+            shared_detector_invocations,
+            with_component_reuses(stats, filter_reuses, detector_reuses),
+        )
+
+    # ------------------------------------------------------------------
     # Aggregate monitoring queries
     # ------------------------------------------------------------------
     def execute_aggregate(
@@ -759,6 +1184,7 @@ class StreamingQueryExecutor:
         repetitions: int = 1,
         seed: int = 0,
         include_partial_windows: bool = False,
+        temporal: TemporalConfig | None = None,
     ) -> AggregateExecutionResult:
         """Estimate an aggregate monitoring query through the planner/executor API.
 
@@ -779,6 +1205,14 @@ class StreamingQueryExecutor:
         the paper's aggregate experiments use fixed-size windows so every
         estimate averages over the same population size — unlike
         :meth:`execute`, whose default covers the whole stream.
+
+        ``temporal`` applies delta gating to the sample evaluation: a
+        sampled frame whose change signature barely differs from the
+        previous sample reuses that sample's exact value and control values
+        instead of re-running the detector and filter (sample indices are
+        sorted, so nearby samples of a stable stream are nearly identical).
+        Exact mode verifies every reuse, keeping estimates bit-identical to
+        a non-temporal run.
         """
         if repetitions < 1:
             raise ValueError(f"repetitions must be positive: {repetitions}")
@@ -804,7 +1238,9 @@ class StreamingQueryExecutor:
                 WindowAggregateEstimate(
                     bounds=bounds,
                     reports=tuple(
-                        monitor.estimate(spec, stream, sample_size, window=bounds)
+                        monitor.estimate(
+                            spec, stream, sample_size, window=bounds, temporal=temporal
+                        )
                         for _ in range(repetitions)
                     ),
                 )
@@ -824,7 +1260,8 @@ class StreamingQueryExecutor:
                 )
         else:
             reports = tuple(
-                monitor.estimate(spec, stream, sample_size) for _ in range(repetitions)
+                monitor.estimate(spec, stream, sample_size, temporal=temporal)
+                for _ in range(repetitions)
             )
         return AggregateExecutionResult(
             query_name=spec.name,

@@ -1,0 +1,446 @@
+"""Temporal-coherence execution layer: delta gating and adaptive-stride scanning.
+
+Monitoring video is overwhelmingly redundant frame to frame: a parked car
+stays parked, an empty intersection stays empty.  The batched (PR 1),
+windowed (PR 2) and multi-query (PR 3) engines all still evaluate every
+frame of the scan from scratch.  This module exploits the redundancy
+directly, with two cooperating mechanisms:
+
+* **Delta gating** (:class:`DeltaGate`).  Every frame is reduced to a cheap
+  block-mean *signature*; when the signature differs from the last keyframe's
+  by less than a threshold, the keyframe's cached outcome — filter
+  predictions, cascade verdict, detector verdict — is reused instead of
+  recomputed.  A keyframe-refresh policy bounds how long a keyframe may be
+  reused (``keyframe_interval``), so slow cumulative drift cannot hide
+  behind a per-frame threshold forever.
+
+* **Adaptive-stride scanning** (:class:`TemporalScan`).  Over stable
+  segments the scan does not even render the intermediate frames: the stride
+  doubles after every stable, verdict-preserving step (up to
+  ``max_stride``), skipped frames inherit the bracketing outcome, and when
+  two consecutively evaluated frames *disagree* the match boundary between
+  them is localized by binary-search refinement — O(log stride) probes
+  instead of stride re-evaluations.
+
+Both mechanisms trade accuracy for cost through one knob, exactly in the
+spirit of the paper's approximate filters.  Two modes make the trade
+explicit:
+
+* ``exact=True`` (the default) is a *verification* mode: every reused or
+  inherited outcome is re-derived from scratch with the simulated clock
+  detached, compared against the cached outcome, and the re-derived outcome
+  is the one used — so results are bit-identical to a non-temporal run,
+  while the simulated cost still reflects what an approximate run would
+  have charged and ``TemporalStats.reuse_mismatches`` reports how often the
+  cache would have been wrong.  One caveat: when a mismatch is found, the
+  verified truth replaces the cached outcome and drives the subsequent
+  stride/refinement decisions, whereas ``exact=False`` would have kept the
+  stale verdict — so after the first mismatch the two modes' scan
+  trajectories (and hence their exact reuse counts) can diverge.  With zero
+  mismatches the charged cost is identical.
+* ``exact=False`` is the deployment mode: reused outcomes are trusted as-is,
+  skipped frames are never rendered, and ``TemporalStats.reuse_rate`` is the
+  achieved saving.
+
+Avoided work is charged to the clock as *reused* calls
+(:meth:`repro.cost.SimulatedClock.reuse`): zero milliseconds, but counted,
+so every :class:`~repro.cost.CostBreakdown` shows reused-vs-computed call
+counts side by side.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, replace
+from typing import Callable, Hashable, Sequence
+
+import numpy as np
+
+from repro.video.stream import Frame
+
+
+@contextmanager
+def clocks_detached(filters: Sequence, detector=None):
+    """Detach the filters' (and detector's) simulated clocks for the duration.
+
+    Exact-mode verification re-derives outcomes from scratch; detaching the
+    clocks keeps those recomputations out of the simulated cost, so an exact
+    run reports what an approximate run would have charged.
+    """
+    saved = [(frame_filter, frame_filter.clock) for frame_filter in filters]
+    for frame_filter in filters:
+        frame_filter.clock = None
+    has_detector_clock = detector is not None and hasattr(detector, "clock")
+    detector_clock = detector.clock if has_detector_clock else None
+    if has_detector_clock:
+        detector.clock = None
+    try:
+        yield
+    finally:
+        for frame_filter, previous in saved:
+            frame_filter.clock = previous
+        if has_detector_clock:
+            detector.clock = detector_clock
+
+
+@dataclass(frozen=True)
+class TemporalConfig:
+    """Knobs of the temporal-coherence execution layer.
+
+    ``delta_threshold`` is compared against the *maximum* per-block absolute
+    difference of the block-mean signatures (0–255 pixel scale); the max —
+    not the mean — keeps a small moving object visible against a large
+    static background.  ``downsample`` is the signature's block edge in
+    pixels: larger blocks are cheaper and more noise-tolerant but blur small
+    motion.  ``keyframe_interval`` bounds consecutive reuses of one
+    keyframe.  ``max_stride`` caps adaptive-stride scanning; ``1`` disables
+    it (every frame is rendered and gated).  ``exact`` selects the
+    verification mode described in the module docstring.
+    """
+
+    delta_threshold: float = 5.0
+    downsample: int = 8
+    keyframe_interval: int = 30
+    max_stride: int = 1
+    exact: bool = True
+
+    def __post_init__(self) -> None:
+        if self.delta_threshold < 0:
+            raise ValueError(f"delta_threshold must be non-negative: {self.delta_threshold}")
+        if self.downsample < 1:
+            raise ValueError(f"downsample must be positive: {self.downsample}")
+        if self.keyframe_interval < 1:
+            raise ValueError(f"keyframe_interval must be positive: {self.keyframe_interval}")
+        if self.max_stride < 1:
+            raise ValueError(f"max_stride must be positive: {self.max_stride}")
+
+
+def frame_signature(image: np.ndarray, downsample: int) -> np.ndarray:
+    """Block-mean signature of ``image``: ``(H//b, W//b)`` float32.
+
+    Color channels are averaged together — the gate detects *presence*
+    changes, for which luminance suffices — and a trailing remainder smaller
+    than the block size is cropped, so any frame geometry is accepted.
+    """
+    if image.ndim == 2:
+        image = image[:, :, None]
+    height, width = image.shape[0], image.shape[1]
+    block = max(1, min(downsample, height, width))
+    rows = (height // block) * block
+    cols = (width // block) * block
+    trimmed = image[:rows, :cols].astype(np.float32)
+    pooled = trimmed.reshape(rows // block, block, cols // block, block, -1).mean(
+        axis=(1, 3)
+    )
+    return pooled.mean(axis=-1)
+
+
+def delta_score(signature: np.ndarray, reference: np.ndarray) -> float:
+    """Maximum per-block absolute difference between two signatures."""
+    if signature.shape != reference.shape:
+        raise ValueError(
+            f"signature shapes differ: {signature.shape} vs {reference.shape}"
+        )
+    return float(np.max(np.abs(signature - reference)))
+
+
+@dataclass(frozen=True)
+class TemporalStats:
+    """Telemetry of one temporally-coherent scan.
+
+    ``frames_computed + frames_reused + frames_skipped == frames_total``:
+    computed frames were evaluated from scratch (keyframes and refinement
+    probes that missed the gate), reused frames were rendered and gated but
+    served from the keyframe cache, skipped frames were never rendered at
+    all (adaptive stride) and inherited a bracketing outcome.
+
+    ``filter_reuses`` / ``detector_reuses`` count the component invocations
+    the reuse avoided (also recorded on the clock as reused calls);
+    ``verified_frames`` / ``reuse_mismatches`` are exact-mode telemetry —
+    how many reused outcomes were re-derived for verification, and how many
+    of those the cache would have gotten wrong.
+    """
+
+    frames_total: int
+    frames_computed: int
+    frames_reused: int
+    frames_skipped: int
+    refinement_probes: int
+    verified_frames: int
+    reuse_mismatches: int
+    max_stride_used: int
+    filter_reuses: int = 0
+    detector_reuses: int = 0
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of scanned frames served without a full evaluation.
+
+        ``nan`` for an empty scan (no frames at all), mirroring
+        :attr:`~repro.query.executor.ExecutionStats.filter_selectivity`.
+        """
+        if self.frames_total == 0:
+            return float("nan")
+        return (self.frames_reused + self.frames_skipped) / self.frames_total
+
+
+class _Telemetry:
+    """Mutable counterpart of :class:`TemporalStats` while a scan runs."""
+
+    def __init__(self) -> None:
+        self.frames_total = 0
+        self.frames_computed = 0
+        self.frames_reused = 0
+        self.frames_skipped = 0
+        self.refinement_probes = 0
+        self.verified_frames = 0
+        self.reuse_mismatches = 0
+        self.max_stride_used = 1
+
+    def freeze(self) -> TemporalStats:
+        return TemporalStats(
+            frames_total=self.frames_total,
+            frames_computed=self.frames_computed,
+            frames_reused=self.frames_reused,
+            frames_skipped=self.frames_skipped,
+            refinement_probes=self.refinement_probes,
+            verified_frames=self.verified_frames,
+            reuse_mismatches=self.reuse_mismatches,
+            max_stride_used=self.max_stride_used,
+        )
+
+
+class DeltaGate:
+    """Cheap change detector with a cached keyframe outcome.
+
+    The gate holds the signature of the last *keyframe* (the last frame that
+    was fully evaluated) together with the opaque outcome of that
+    evaluation.  :meth:`decide` answers "may this frame reuse the keyframe's
+    outcome?": yes iff a keyframe exists, the caller-supplied context is
+    unchanged (e.g. the same set of queries covers both frames), the reuse
+    streak is still under ``keyframe_interval``, and the signature delta is
+    at or below the threshold.
+    """
+
+    def __init__(self, config: TemporalConfig) -> None:
+        self.config = config
+        self._signature: np.ndarray | None = None
+        self._context: Hashable = None
+        self._outcome: object = None
+        self._streak = 0
+        # One-entry signature memo so a decide() followed by set_keyframe()
+        # on the same image computes the block means once.  Keyed by object
+        # identity; holding the image reference keeps the id stable.
+        self._signature_memo: tuple[np.ndarray, np.ndarray] | None = None
+        #: delta score of the most recent :meth:`decide` call (``nan`` before any)
+        self.last_score: float = float("nan")
+
+    def _signature_of(self, image: np.ndarray) -> np.ndarray:
+        memo = self._signature_memo
+        if memo is not None and memo[0] is image:
+            return memo[1]
+        signature = frame_signature(image, self.config.downsample)
+        self._signature_memo = (image, signature)
+        return signature
+
+    @property
+    def outcome(self) -> object:
+        """The cached keyframe outcome (meaningful after a ``True`` decision)."""
+        return self._outcome
+
+    def decide(self, image: np.ndarray, context: Hashable = None) -> bool:
+        """Whether ``image`` may reuse the cached keyframe outcome."""
+        if self._signature is None or context != self._context:
+            return False
+        if self._streak >= self.config.keyframe_interval:
+            return False
+        signature = self._signature_of(image)
+        if signature.shape != self._signature.shape:
+            return False
+        self.last_score = delta_score(signature, self._signature)
+        return self.last_score <= self.config.delta_threshold
+
+    def mark_reused(self) -> None:
+        """Record one reuse of the current keyframe (advances the streak)."""
+        self._streak += 1
+
+    def set_keyframe(self, image: np.ndarray, outcome: object, context: Hashable = None) -> None:
+        """Install ``image`` as the new keyframe with its evaluated ``outcome``."""
+        self._signature = self._signature_of(image)
+        self._outcome = outcome
+        self._context = context
+        self._streak = 0
+
+    def replace_outcome(self, outcome: object) -> None:
+        """Swap the cached payload without touching the signature or streak.
+
+        Used by exact-mode verification when the cache drifted: the gating
+        behaviour stays identical to the approximate mode (same signature,
+        same streak), but later reuses inherit the corrected outcome.
+        """
+        self._outcome = outcome
+
+
+class TemporalScan:
+    """Drives one temporally-coherent scan over a sequence of frame indices.
+
+    The scan is generic over the per-frame *outcome* — the executor supplies
+    domain callbacks, the scan supplies the gating / striding / refinement /
+    verification machinery:
+
+    * ``render(index) -> Frame`` — materialise a frame;
+    * ``compute(frame) -> outcome`` — full evaluation, charging the
+      simulated clock as usual;
+    * ``verify(frame) -> outcome`` — full evaluation with all clocks
+      detached (required when ``config.exact``);
+    * ``reuse_charge(outcome)`` — record the invocations an avoided
+      evaluation would have made (reused calls on the clock);
+    * ``verdict(outcome) -> hashable`` — the decision the adaptive stride
+      watches for boundaries (e.g. ``(passed, matched)``);
+    * ``context_key(index) -> hashable`` — reuse and inheritance only happen
+      between frames with equal context (e.g. covered by the same windowed
+      queries).
+
+    :meth:`run` returns one outcome per input index plus the scan's
+    :class:`TemporalStats`.  In exact mode every returned outcome is a fresh
+    from-scratch evaluation, so downstream results are bit-identical to a
+    non-temporal run regardless of what the cache contained.
+    """
+
+    def __init__(
+        self,
+        config: TemporalConfig,
+        *,
+        render: Callable[[int], Frame],
+        compute: Callable[[Frame], object],
+        verify: Callable[[Frame], object] | None = None,
+        reuse_charge: Callable[[object], None] | None = None,
+        verdict: Callable[[object], Hashable] | None = None,
+        context_key: Callable[[int], Hashable] | None = None,
+    ) -> None:
+        if config.exact and verify is None:
+            raise ValueError("exact temporal execution needs a verify callback")
+        self.config = config
+        self._render = render
+        self._compute = compute
+        self._verify = verify
+        self._reuse_charge = reuse_charge or (lambda outcome: None)
+        self._verdict = verdict or (lambda outcome: outcome)
+        self._context_key = context_key or (lambda index: None)
+
+    def run(self, indices: Sequence[int]) -> tuple[list, TemporalStats]:
+        indices = list(indices)
+        n = len(indices)
+        results: list = [None] * n
+        gate = DeltaGate(self.config)
+        telemetry = _Telemetry()
+        telemetry.frames_total = n
+        exact = self.config.exact
+
+        def verified(frame: Frame, cached: object) -> object:
+            """Exact-mode check of a cached/inherited outcome; returns the truth."""
+            truth = self._verify(frame)
+            telemetry.verified_frames += 1
+            if self._verdict(truth) != self._verdict(cached):
+                telemetry.reuse_mismatches += 1
+            return truth
+
+        def evaluate(position: int, probe: bool = False) -> object:
+            """Render + gate one position; cache hit or full evaluation."""
+            index = indices[position]
+            frame = self._render(index)
+            context = self._context_key(index)
+            if gate.decide(frame.image, context):
+                outcome = gate.outcome
+                gate.mark_reused()
+                telemetry.frames_reused += 1
+                self._reuse_charge(outcome)
+                if exact:
+                    truth = verified(frame, outcome)
+                    if self._verdict(truth) != self._verdict(outcome):
+                        gate.replace_outcome(truth)
+                    outcome = truth
+            else:
+                outcome = self._compute(frame)
+                gate.set_keyframe(frame.image, outcome, context)
+                telemetry.frames_computed += 1
+            if probe:
+                telemetry.refinement_probes += 1
+            results[position] = outcome
+            return outcome
+
+        def inherit(position: int, source: int) -> None:
+            """Give a never-rendered position its bracketing frame's outcome."""
+            if self._context_key(indices[position]) != self._context_key(indices[source]):
+                # Coverage changed inside the gap (e.g. a window boundary):
+                # inheritance would smuggle an outcome across contexts.
+                evaluate(position)
+                return
+            outcome = results[source]
+            telemetry.frames_skipped += 1
+            self._reuse_charge(outcome)
+            if exact:
+                truth = verified(self._render(indices[position]), outcome)
+                outcome = truth
+            results[position] = outcome
+
+        def assign_gap(lo_position: int, hi_position: int) -> None:
+            """Fill the stride-skipped positions strictly between two evaluations."""
+            lo_verdict = self._verdict(results[lo_position])
+            hi_verdict = self._verdict(results[hi_position])
+            if lo_verdict == hi_verdict:
+                for position in range(lo_position + 1, hi_position):
+                    if results[position] is None:
+                        inherit(position, lo_position)
+                return
+            # The verdict changed inside the gap: localize the boundary with
+            # O(log gap) probes.  (A gap hiding more than one transition is
+            # collapsed to a single boundary — part of the approximate mode's
+            # accuracy trade; exact mode re-derives every frame anyway.)
+            lo, hi = lo_position, hi_position
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                outcome = evaluate(mid, probe=True)
+                if self._verdict(outcome) == lo_verdict:
+                    lo = mid
+                else:
+                    hi = mid
+            for position in range(lo_position + 1, hi_position):
+                if results[position] is None:
+                    inherit(position, lo if position < hi else hi)
+
+        stride = 1
+        previous: int | None = None
+        position = 0
+        while position < n:
+            computed_before = telemetry.frames_computed
+            outcome = evaluate(position)
+            was_reused = telemetry.frames_computed == computed_before
+            if previous is not None and position - previous > 1:
+                assign_gap(previous, position)
+            # Stride doubles only through stable, verdict-preserving reuses;
+            # any keyframe refresh or verdict change resets it.
+            if (
+                previous is not None
+                and was_reused
+                and self._verdict(results[previous]) == self._verdict(outcome)
+            ):
+                stride = min(stride * 2, self.config.max_stride)
+            else:
+                stride = 1
+            telemetry.max_stride_used = max(telemetry.max_stride_used, stride)
+            previous = position
+            if position == n - 1:
+                break
+            position = min(position + stride, n - 1)
+
+        return results, telemetry.freeze()
+
+
+def with_component_reuses(
+    stats: TemporalStats, filter_reuses: int, detector_reuses: int
+) -> TemporalStats:
+    """``stats`` with the executor-counted component reuse totals filled in."""
+    return replace(
+        stats, filter_reuses=filter_reuses, detector_reuses=detector_reuses
+    )

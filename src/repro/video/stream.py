@@ -9,6 +9,7 @@ Section IV of the paper.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
 from typing import Iterator, Sequence
@@ -50,14 +51,19 @@ class VideoStream:
         fps: int = 30,
         camera_id: str = "camera-0",
         name: str = "stream",
+        frame_cache_size: int = 32,
     ) -> None:
         if fps <= 0:
             raise ValueError(f"fps must be positive: {fps}")
+        if frame_cache_size < 0:
+            raise ValueError(f"frame_cache_size must be non-negative: {frame_cache_size}")
         self._scene = scene
         self._renderer = renderer
         self._fps = fps
         self._camera_id = camera_id
         self._name = name
+        self._frame_cache_size = frame_cache_size
+        self._frame_cache: OrderedDict[int, Frame] = OrderedDict()
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -97,19 +103,42 @@ class VideoStream:
     def duration_seconds(self) -> float:
         return len(self) / self._fps
 
+    @property
+    def frame_cache_size(self) -> int:
+        """Capacity of the LRU frame cache (``0`` disables caching)."""
+        return self._frame_cache_size
+
     # ------------------------------------------------------------------
     # Frame access
     # ------------------------------------------------------------------
     def frame(self, index: int) -> Frame:
-        """Materialise frame ``index`` (renders the pixels)."""
+        """Materialise frame ``index``, rendering the pixels on a cache miss.
+
+        Rendering is deterministic per index, so revisiting an index — as the
+        windowed, multi-query and temporal execution paths routinely do —
+        returns the cached :class:`Frame` instead of re-rendering.  The cache
+        is a small LRU (``frame_cache_size`` entries, least recently
+        *accessed* evicted first).  Returned frames are shared objects:
+        callers must treat ``image`` as read-only, which every consumer in
+        this codebase already does (filters copy via ``astype``).
+        """
+        cached = self._frame_cache.get(index)
+        if cached is not None:
+            self._frame_cache.move_to_end(index)
+            return cached
         ground_truth = self._scene.ground_truth(index)
         image = self._renderer.render(ground_truth)
-        return Frame(
+        frame = Frame(
             index=index,
             image=image,
             ground_truth=ground_truth,
             camera_id=self._camera_id,
         )
+        if self._frame_cache_size > 0:
+            self._frame_cache[index] = frame
+            while len(self._frame_cache) > self._frame_cache_size:
+                self._frame_cache.popitem(last=False)
+        return frame
 
     def ground_truth(self, index: int) -> FrameGroundTruth:
         """Ground truth without rendering (used for labels and evaluation)."""

@@ -1,0 +1,207 @@
+"""Tests for the eval-mode inference fast path of the nn framework.
+
+``set_training(False)`` must (a) allocate no backward caches in any layer,
+(b) make ``backward`` fail with a clear eval-mode error, (c) preserve a
+float32 input dtype end to end, and (d) produce outputs that agree with the
+float64 training-mode forward to float32 precision.  ``Conv2D`` must
+additionally reuse its preallocated im2col scratch across eval calls.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.filters.neural import NeuralBranchFilter, build_branch_network
+from repro.nn.layers import (
+    Conv2D,
+    Dense,
+    Flatten,
+    GlobalAveragePooling2D,
+    LeakyReLU,
+    MaxPool2D,
+    ReLU,
+    Sigmoid,
+)
+from repro.nn.network import MultiHeadNetwork, Sequential
+
+
+def _all_layers() -> list:
+    return [
+        ReLU(),
+        LeakyReLU(0.1),
+        Sigmoid(),
+        Flatten(),
+        Dense(12, 5, seed=0),
+        Conv2D(3, 4, kernel_size=3, padding=1, seed=0),
+        MaxPool2D(2),
+        GlobalAveragePooling2D(),
+    ]
+
+
+def _input_for(layer, rng) -> np.ndarray:
+    if isinstance(layer, Dense):
+        return rng.normal(size=(2, 12))
+    if isinstance(layer, (Conv2D, MaxPool2D, GlobalAveragePooling2D, Flatten)):
+        return rng.normal(size=(2, 3, 8, 8))
+    return rng.normal(size=(2, 3, 8, 8))
+
+
+_CACHE_ATTRS = {
+    ReLU: ("_mask",),
+    LeakyReLU: ("_mask",),
+    Sigmoid: ("_output",),
+    Flatten: ("_input_shape",),
+    Dense: ("_inputs",),
+    Conv2D: ("_cols", "_input_shape", "_out_hw"),
+    MaxPool2D: ("_argmax", "_inputs_shape"),
+    GlobalAveragePooling2D: ("_input_shape",),
+}
+
+
+def test_eval_mode_layers_allocate_no_caches(rng):
+    for layer in _all_layers():
+        layer.training = False
+        layer.forward(_input_for(layer, rng))
+        for attr in _CACHE_ATTRS[type(layer)]:
+            assert getattr(layer, attr) is None, f"{type(layer).__name__}.{attr}"
+
+
+def test_eval_mode_backward_raises_clear_error(rng):
+    for layer in _all_layers():
+        layer.training = False
+        output = layer.forward(_input_for(layer, rng))
+        with pytest.raises(RuntimeError, match="eval mode"):
+            layer.backward(np.zeros_like(np.asarray(output)))
+
+
+def test_training_mode_still_caches_and_backprops(rng):
+    layer = ReLU()
+    inputs = rng.normal(size=(2, 5))
+    layer.forward(inputs)
+    assert layer._mask is not None
+    grads = layer.backward(np.ones((2, 5)))
+    assert grads.shape == (2, 5)
+
+
+def test_eval_forward_matches_training_forward(rng):
+    for layer in _all_layers():
+        inputs = _input_for(layer, rng)
+        layer.training = True
+        expected = layer.forward(inputs)
+        layer.training = False
+        observed = layer.forward(inputs)
+        assert np.allclose(np.asarray(expected), np.asarray(observed))
+
+
+def test_sigmoid_preserves_float32():
+    layer = Sigmoid()
+    out32 = layer.forward(np.array([[-3.0, 0.0, 3.0]], dtype=np.float32))
+    assert out32.dtype == np.float32
+    out64 = layer.forward(np.array([[-3.0, 0.0, 3.0]], dtype=np.float64))
+    assert out64.dtype == np.float64
+    # Integer inputs keep promoting to float64 as before.
+    assert layer.forward(np.array([[0, 1]], dtype=np.int64)).dtype == np.float64
+    # The stable branches agree with the naive formula.
+    x = np.linspace(-30, 30, 61)
+    assert np.allclose(layer.forward(x), 1.0 / (1.0 + np.exp(-x)))
+
+
+def test_eval_mode_preserves_float32_end_to_end(rng):
+    network = Sequential(
+        [
+            Conv2D(3, 4, kernel_size=3, padding=1, seed=1),
+            LeakyReLU(0.1),
+            MaxPool2D(2),
+            GlobalAveragePooling2D(),
+            Dense(4, 2, seed=2),
+            Sigmoid(),
+        ]
+    )
+    network.set_training(False)
+    inputs = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+    output = network.forward(inputs)
+    assert output.dtype == np.float32
+    network.set_training(True)
+    reference = network.forward(inputs.astype(np.float64))
+    assert np.allclose(reference, output.astype(np.float64), atol=1e-5)
+
+
+def test_eval_mode_integer_inputs_promote_instead_of_truncating(rng):
+    """Integer activations must not drag float weights down to int dtypes."""
+    dense = Dense(3, 2, seed=0)
+    inputs = np.array([[1, 2, 3]], dtype=np.int64)
+    dense.training = True
+    expected = dense.forward(inputs.astype(np.float64))
+    dense.training = False
+    observed = dense.forward(inputs)
+    assert np.issubdtype(observed.dtype, np.floating)
+    assert np.allclose(expected, observed)
+
+    conv = Conv2D(3, 4, kernel_size=3, padding=1, seed=0)
+    images = rng.integers(0, 255, size=(1, 3, 8, 8)).astype(np.uint8)
+    conv.training = True
+    expected = conv.forward(images.astype(np.float64))
+    conv.training = False
+    observed = conv.forward(images)
+    assert np.issubdtype(observed.dtype, np.floating)
+    assert np.allclose(expected, observed)
+
+
+def test_conv2d_reuses_im2col_buffer_across_eval_calls(rng):
+    conv = Conv2D(3, 4, kernel_size=3, padding=1, seed=0)
+    conv.training = False
+    inputs = rng.normal(size=(2, 3, 8, 8)).astype(np.float32)
+    conv.forward(inputs)
+    gather = conv._infer_buffers["gather"]
+    flat = conv._infer_buffers["flat"]
+    conv.forward(inputs)
+    assert conv._infer_buffers["gather"] is gather
+    assert conv._infer_buffers["flat"] is flat
+    # A different geometry reallocates instead of corrupting the result.
+    bigger = rng.normal(size=(1, 3, 16, 16)).astype(np.float32)
+    out = conv.forward(bigger)
+    assert out.shape == (1, 4, 16, 16)
+    assert conv._infer_buffers["flat"] is not flat
+
+
+def test_multi_head_network_eval_mode(rng):
+    network = build_branch_network(num_classes=2, image_size=8, grid_size=4, seed=3)
+    inputs = rng.normal(size=(2, 3, 8, 8))
+    network.set_training(True)
+    trained = network.forward(inputs)
+    network.set_training(False)
+    evaled = network.forward(inputs)
+    assert network._trunk_output is None
+    for name in trained:
+        assert np.allclose(trained[name], evaled[name], atol=1e-6)
+    with pytest.raises(RuntimeError, match="eval mode"):
+        network.backward({"counts": np.zeros_like(evaled["counts"])})
+
+
+def test_neural_filter_inference_parity(tiny_jackson):
+    network = build_branch_network(num_classes=2, image_size=56, grid_size=14, seed=4)
+    frame_filter = NeuralBranchFilter(
+        network,
+        tiny_jackson.class_names,
+        image_size=56,
+        grid_size=14,
+        frame_width=tiny_jackson.profile.frame_width,
+        frame_height=tiny_jackson.profile.frame_height,
+    )
+    frames = [tiny_jackson.test.frame(index) for index in range(6)]
+    network.set_training(True)
+    trained = frame_filter.predict_batch(frames)
+    network.set_training(False)
+    assert frame_filter._activation_dtype == np.float32
+    inferred = frame_filter.predict_batch(frames)
+    for a, b in zip(trained, inferred):
+        assert a.class_counts == b.class_counts
+        for name in a.class_scores:
+            assert a.class_scores[name] == pytest.approx(b.class_scores[name], abs=1e-4)
+        for name in a.location_scores:
+            assert np.allclose(
+                np.asarray(a.location_scores[name], dtype=np.float64),
+                np.asarray(b.location_scores[name], dtype=np.float64),
+                atol=1e-4,
+            )

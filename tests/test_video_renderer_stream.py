@@ -77,3 +77,62 @@ def test_stream_rejects_bad_fps(single_object_stream):
 
     with pytest.raises(ValueError):
         VideoStream(scene=single_object_stream.scene, renderer=single_object_stream.renderer, fps=0)
+
+
+# ----------------------------------------------------------------------
+# LRU frame cache
+# ----------------------------------------------------------------------
+def test_frame_cache_hit_returns_identical_frame(single_object_stream):
+    from repro.video.stream import VideoStream
+
+    stream = VideoStream(
+        scene=single_object_stream.scene,
+        renderer=single_object_stream.renderer,
+        frame_cache_size=4,
+    )
+    first = stream.frame(3)
+    again = stream.frame(3)
+    # Cache hit: the very same Frame object, no re-render.
+    assert again is first
+    # And the cached pixels equal a fresh render.
+    fresh = VideoStream(
+        scene=single_object_stream.scene,
+        renderer=single_object_stream.renderer,
+        frame_cache_size=0,
+    ).frame(3)
+    assert np.array_equal(first.image, fresh.image)
+
+
+def test_frame_cache_evicts_least_recently_used(single_object_stream):
+    from repro.video.stream import VideoStream
+
+    stream = VideoStream(
+        scene=single_object_stream.scene,
+        renderer=single_object_stream.renderer,
+        frame_cache_size=2,
+    )
+    frame0 = stream.frame(0)
+    frame1 = stream.frame(1)
+    assert stream.frame(0) is frame0  # touch 0 so 1 becomes the LRU entry
+    stream.frame(2)  # evicts 1
+    assert stream.frame(0) is frame0  # still cached
+    assert stream.frame(1) is not frame1  # was evicted, re-rendered
+    assert len(stream._frame_cache) == 2
+
+
+def test_frame_cache_disabled(single_object_stream):
+    from repro.video.stream import VideoStream
+
+    stream = VideoStream(
+        scene=single_object_stream.scene,
+        renderer=single_object_stream.renderer,
+        frame_cache_size=0,
+    )
+    assert stream.frame(0) is not stream.frame(0)
+    assert len(stream._frame_cache) == 0
+    with pytest.raises(ValueError):
+        VideoStream(
+            scene=single_object_stream.scene,
+            renderer=single_object_stream.renderer,
+            frame_cache_size=-1,
+        )
