@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.experiments import ablation
 
 
-def test_ablation_branch_depth(benchmark, bench_config):
+def test_ablation_branch_depth(benchmark, bench_config, pytestconfig):
     rows = benchmark.pedantic(
         ablation.run_branch_depth, args=(bench_config,), rounds=1, iterations=1
     )
     print_rows("Ablation — backbone spatial resolution", "\n".join(map(str, rows)))
+    write_bench_json(
+        pytestconfig,
+        "ablation_branch_depth",
+        params={"rows": len(rows)},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
     assert len(rows) == 3
     finest = min(rows, key=lambda r: r["pool_factor"])
     coarsest = max(rows, key=lambda r: r["pool_factor"])
@@ -19,19 +25,31 @@ def test_ablation_branch_depth(benchmark, bench_config):
     assert coarsest["micro_f1"] <= finest["micro_f1"] + 0.05
 
 
-def test_ablation_threshold_sweep(benchmark, bench_config):
+def test_ablation_threshold_sweep(benchmark, bench_config, pytestconfig):
     rows = benchmark.pedantic(
         ablation.run_threshold_sweep, args=(bench_config,), rounds=1, iterations=1
     )
     print_rows("Ablation — grid occupancy threshold", "\n".join(map(str, rows)))
     assert any(row.get("best") for row in rows)
+    write_bench_json(
+        pytestconfig,
+        "ablation_threshold_sweep",
+        params={"rows": len(rows)},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
 
 
-def test_ablation_cascade_tolerance(benchmark, bench_config):
+def test_ablation_cascade_tolerance(benchmark, bench_config, pytestconfig):
     rows = benchmark.pedantic(
         ablation.run_cascade_tolerance, args=(bench_config,), rounds=1, iterations=1
     )
     print_rows("Ablation — cascade tolerance vs accuracy/speedup", "\n".join(map(str, rows)))
+    write_bench_json(
+        pytestconfig,
+        "ablation_cascade_tolerance",
+        params={"rows": len(rows)},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
     assert len(rows) == 5
     # Looser tolerances can only admit more frames (weakly lower speedup,
     # weakly higher accuracy).

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import time
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import print_rows, write_bench_json
 from repro.experiments.context import get_context
 from repro.query import PlannerConfig, QueryBuilder, QueryPlanner, StreamingQueryExecutor
 
@@ -135,9 +135,19 @@ def format_rows(result: dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def test_batch_executor_throughput(benchmark, bench_config):
+def test_batch_executor_throughput(benchmark, bench_config, pytestconfig):
     result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
     print_rows("Batched filter-cascade execution", format_rows(result))
+    write_bench_json(
+        pytestconfig,
+        "batch_executor",
+        params={
+            "frames": result["executor"]["frames"],
+            "batch_size": result["executor"]["batch_size"],
+        },
+        wall_seconds=result["executor"]["batched_s"],
+        speedup=result["executor"]["speedup"],
+    )
     by_filter = {row["filter"]: row for row in result["filters"]}
     # The acceptance bar: >= 3x wall-clock throughput on the linear branch
     # filters (OD / IC); the pooled-count filter does less per-frame work, so

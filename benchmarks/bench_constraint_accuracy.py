@@ -2,15 +2,21 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.experiments import constraint_check
 
 
-def test_constraint_check_accuracy(benchmark, bench_config):
+def test_constraint_check_accuracy(benchmark, bench_config, pytestconfig):
     result = benchmark.pedantic(
         constraint_check.run, args=(bench_config,), rounds=1, iterations=1
     )
     print_rows("Constraint check — 'car left of bus' vs exact evaluation", str(result))
+    write_bench_json(
+        pytestconfig,
+        "constraint_accuracy",
+        params={"accuracy": result["accuracy"]},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
     # The paper reports 99 % agreement; the linear-head reproduction should
     # stay well above chance and in the same qualitative band.
     assert result["accuracy"] >= 0.8

@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.experiments import fig7
 
 
-def test_fig7_count_filter_accuracy(benchmark, bench_config):
+def test_fig7_count_filter_accuracy(benchmark, bench_config, pytestconfig):
     rows = benchmark.pedantic(fig7.run, args=(bench_config,), rounds=1, iterations=1)
     print_rows("Figure 7 — count filter accuracy", fig7.format_rows(rows))
+    write_bench_json(
+        pytestconfig,
+        "fig07_count_filters",
+        params={"rows": len(rows)},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
     assert len(rows) == 9  # 3 datasets x 3 filters
     by_key = {(r["dataset"], r["filter"]): r for r in rows}
     for row in rows:

@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.experiments import fig11
 
 
-def test_fig11_per_class_count_accuracy(benchmark, bench_config):
+def test_fig11_per_class_count_accuracy(benchmark, bench_config, pytestconfig):
     rows = benchmark.pedantic(fig11.run, args=(bench_config,), rounds=1, iterations=1)
     print_rows("Figures 8-11 — per-class count accuracy", fig11.format_rows(rows))
+    write_bench_json(
+        pytestconfig,
+        "fig11_class_counts",
+        params={"rows": len(rows)},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
     # 2 filters per dataset, one row per class: coral 1, jackson 2, detrac 3.
     assert len(rows) == 2 * (1 + 2 + 3)
     for row in rows:

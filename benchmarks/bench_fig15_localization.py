@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.experiments import fig15
 
 
-def test_fig15_localization_f1(benchmark, bench_config):
+def test_fig15_localization_f1(benchmark, bench_config, pytestconfig):
     rows = benchmark.pedantic(fig15.run, args=(bench_config,), rounds=1, iterations=1)
     print_rows("Figures 12-15 — localisation F1", fig15.format_rows(rows))
+    write_bench_json(
+        pytestconfig,
+        "fig15_localization",
+        params={"rows": len(rows)},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
     assert len(rows) == 2 * (1 + 2 + 3)
     by_key = {(r["dataset"], r["filter"], r["class"]): r for r in rows}
     for row in rows:

@@ -8,35 +8,60 @@ the frame-processing-rate increase that makes the filter cascade worthwhile.
 
 from __future__ import annotations
 
+from benchmarks.conftest import bench_wall_seconds, write_bench_json
 from repro.experiments.context import get_context
 
 
-def test_od_filter_throughput(benchmark, bench_config):
+def test_od_filter_throughput(benchmark, bench_config, pytestconfig):
     context = get_context("jackson", bench_config)
     frame = context.dataset.test.frame(5)
     od = context.od_filter
     prediction = benchmark(od.predict, frame)
     assert prediction.total_count >= 0
+    write_bench_json(
+        pytestconfig,
+        "od_filter_throughput",
+        params={"per_frame": True},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
 
 
-def test_ic_filter_throughput(benchmark, bench_config):
+def test_ic_filter_throughput(benchmark, bench_config, pytestconfig):
     context = get_context("jackson", bench_config)
     frame = context.dataset.test.frame(5)
     ic = context.ic_filter
     prediction = benchmark(ic.predict, frame)
     assert prediction.total_count >= 0
+    write_bench_json(
+        pytestconfig,
+        "ic_filter_throughput",
+        params={"per_frame": True},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
 
 
-def test_reference_detector_throughput(benchmark, bench_config):
+def test_reference_detector_throughput(benchmark, bench_config, pytestconfig):
     context = get_context("jackson", bench_config)
     frame = context.dataset.test.frame(5)
     detector = context.reference_detector()
     detections = benchmark(detector.detect, frame)
     assert detections.count >= 0
+    write_bench_json(
+        pytestconfig,
+        "reference_detector_throughput",
+        params={"per_frame": True},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
 
 
-def test_frame_rendering_throughput(benchmark, bench_config):
+def test_frame_rendering_throughput(benchmark, bench_config, pytestconfig):
     context = get_context("jackson", bench_config)
     stream = context.dataset.test
     frame = benchmark(stream.frame, 10)
     assert frame.image.shape[2] == 3
+    write_bench_json(
+        pytestconfig,
+        "frame_rendering_throughput",
+        params={"per_frame": True, "cached": stream.frame_cache_size > 0},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )

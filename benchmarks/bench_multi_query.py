@@ -21,7 +21,7 @@ runs at most once per frame, and the shared run's simulated cost is at least
 
 from __future__ import annotations
 
-from benchmarks.conftest import count_filter_frames, print_rows
+from benchmarks.conftest import count_filter_frames, print_rows, write_bench_json
 from repro.query import (
     PlannerConfig,
     QueryBuilder,
@@ -146,9 +146,17 @@ def format_rows(result: dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def test_multi_query_shared_execution(benchmark, bench_config):
+def test_multi_query_shared_execution(benchmark, bench_config, pytestconfig):
     result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
     print_rows("Multi-query shared execution (q1–q7-style workload)", format_rows(result))
+    write_bench_json(
+        pytestconfig,
+        "multi_query",
+        params={"queries": len(result["rows"]), "frames": result["frames"]},
+        wall_seconds=result["shared_wall_s"],
+        simulated_seconds=result["shared_s"],
+        speedup=result["savings_ratio"],
+    )
     # Exact per-query parity with independent execution.
     assert all(row["parity"] for row in result["rows"])
     # The detector ran at most once per frame, and never more than the

@@ -2,13 +2,19 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.experiments import table2
 
 
-def test_table2_dataset_characteristics(benchmark, bench_config):
+def test_table2_dataset_characteristics(benchmark, bench_config, pytestconfig):
     rows = benchmark.pedantic(table2.run, args=(bench_config,), rounds=1, iterations=1)
     print_rows("Table II — dataset characteristics", table2.format_rows(rows))
+    write_bench_json(
+        pytestconfig,
+        "table2_datasets",
+        params={"datasets": len(rows)},
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
     assert len(rows) == 3
     for row in rows:
         # The synthetic streams must match the paper's per-frame statistics.

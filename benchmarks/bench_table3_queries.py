@@ -2,13 +2,23 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.experiments import table3
 
 
-def test_table3_query_execution(benchmark, bench_config):
+def test_table3_query_execution(benchmark, bench_config, pytestconfig):
     rows = benchmark.pedantic(table3.run, args=(bench_config,), rounds=1, iterations=1)
     print_rows("Table III — query execution with filter cascades", table3.format_rows(rows))
+    filtered_s = sum(row["filtered_time_s"] for row in rows)
+    brute_s = sum(row["brute_force_time_s"] for row in rows)
+    write_bench_json(
+        pytestconfig,
+        "table3_queries",
+        params={"queries": len(rows)},
+        wall_seconds=bench_wall_seconds(benchmark),
+        simulated_seconds=filtered_s,
+        speedup=brute_s / filtered_s if filtered_s else None,
+    )
     assert len(rows) == 7
     for row in rows:
         # The cascade never fabricates matches (verification uses the same

@@ -2,11 +2,11 @@
 
 from __future__ import annotations
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.experiments import table4
 
 
-def test_table4_aggregate_variance_reduction(benchmark, bench_config):
+def test_table4_aggregate_variance_reduction(benchmark, bench_config, pytestconfig):
     rows = benchmark.pedantic(
         table4.run,
         args=(bench_config,),
@@ -15,6 +15,19 @@ def test_table4_aggregate_variance_reduction(benchmark, bench_config):
         iterations=1,
     )
     print_rows("Table IV — control-variate aggregate estimation", table4.format_rows(rows))
+    write_bench_json(
+        pytestconfig,
+        "table4_aggregates",
+        params={
+            "queries": len(rows),
+            "sample_size": 50,
+            "repetitions": 12,
+            "mean_variance_reduction": round(
+                sum(row["variance_reduction"] for row in rows) / len(rows), 2
+            ),
+        },
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
     assert len(rows) == 5
     for row in rows:
         # The per-sample cost is dominated by the reference detector (200 ms);

@@ -20,7 +20,7 @@ import time
 
 import numpy as np
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.detection import ReferenceDetector
 from repro.filters.neural import NeuralBranchFilter, build_branch_network
 from repro.query import (
@@ -182,9 +182,21 @@ def format_rows(result: dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def test_temporal_delta_execution(benchmark, bench_config):
+def test_temporal_delta_execution(benchmark, bench_config, pytestconfig):
     result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
     print_rows("Temporal-coherence delta execution + NN inference fast path", format_rows(result))
+    write_bench_json(
+        pytestconfig,
+        "temporal_delta",
+        params={
+            "frames": result["frames"],
+            "exact_reuse_rate": result["exact_reuse_rate"],
+            "nn_speedup": result["nn_speedup"],
+        },
+        wall_seconds=bench_wall_seconds(benchmark),
+        simulated_seconds=result["exact_s"],
+        speedup=result["cost_reduction"],
+    )
     # Exact mode is bit-identical to the non-temporal executor.
     assert result["exact_parity"]
     # The headline: >= 3x simulated detector+filter cost reduction.

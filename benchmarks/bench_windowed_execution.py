@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from dataclasses import replace
 
-from benchmarks.conftest import print_rows
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
 from repro.aggregates import AggregateMonitor, AggregateQuerySpec, query_indicator_control
 from repro.experiments.context import get_context
 from repro.query import (
@@ -177,9 +177,19 @@ def format_rows(result: dict[str, object]) -> str:
     return "\n".join(lines)
 
 
-def test_windowed_and_aggregate_execution(benchmark, bench_config):
+def test_windowed_and_aggregate_execution(benchmark, bench_config, pytestconfig):
     result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
     print_rows("Windowed + aggregate execution", format_rows(result))
+    write_bench_json(
+        pytestconfig,
+        "windowed_execution",
+        params={
+            "num_windows": result["execution"]["num_windows"],
+            "frames_scanned": result["execution"]["frames_scanned"],
+            "variance_reduction": result["aggregate"]["variance_reduction"],
+        },
+        wall_seconds=bench_wall_seconds(benchmark),
+    )
     execution = result["execution"]
     # WINDOW before or after WHERE parses to the same query.
     assert execution["parse_positions_agree"]

@@ -13,6 +13,9 @@ Run with::
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.context import ExperimentConfig
@@ -37,6 +40,54 @@ def print_rows(title: str, text: str) -> None:
     """Echo a reproduced table to stdout (shown with ``pytest -s``)."""
     print(f"\n=== {title} ===")
     print(text)
+
+
+def bench_wall_seconds(benchmark) -> float | None:
+    """Best-effort mean wall seconds of the benchmark fixture's timed rounds."""
+    try:
+        return float(benchmark.stats.stats.mean)
+    except Exception:
+        return None
+
+
+def write_bench_json(
+    pytestconfig,
+    name: str,
+    params: dict,
+    wall_seconds: float | None,
+    simulated_seconds: float | None = None,
+    speedup: float | None = None,
+) -> str | None:
+    """Persist one benchmark's headline measurement as ``BENCH_<name>.json``.
+
+    Every benchmark emits the same schema — ``{name, params, wall_seconds,
+    simulated_seconds, speedup}`` — so the perf trajectory across commits is
+    machine-readable (CI archives the files as artifacts).  Fields that a
+    benchmark has no meaningful value for (an accuracy table has no speedup)
+    are ``null``, never omitted.  Writing only happens when ``--json PATH``
+    was passed: a ``PATH`` ending in ``.json`` is used verbatim (single
+    benchmark runs), anything else is treated as a directory to drop
+    ``BENCH_<name>.json`` into.  Returns the written path, or ``None`` when
+    ``--json`` is off.
+    """
+    target = pytestconfig.getoption("--json")
+    if not target:
+        return None
+    payload = {
+        "name": name,
+        "params": params,
+        "wall_seconds": None if wall_seconds is None else round(float(wall_seconds), 6),
+        "simulated_seconds": (
+            None if simulated_seconds is None else round(float(simulated_seconds), 6)
+        ),
+        "speedup": None if speedup is None else round(float(speedup), 4),
+    }
+    path = Path(target)
+    if path.suffix != ".json":
+        path = path / f"BENCH_{name}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return str(path)
 
 
 def count_filter_frames(frame_filter, counts: dict[int, int]):

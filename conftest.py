@@ -1,0 +1,35 @@
+"""Repo-root pytest configuration.
+
+Lives at the root (not under ``tests/`` or ``benchmarks/``) because two
+things here must be active for *any* invocation target:
+
+* the ``--json`` option — benchmark modules write a machine-readable
+  ``BENCH_<name>.json`` next to their human-readable table when it is given
+  (see ``benchmarks/conftest.py::write_bench_json``), and options can only be
+  registered from an initial conftest;
+* the marker registry — ``pytest -m parallel`` selects the parallel
+  execution-engine tests (CI runs them as a dedicated job), ``slow`` guards
+  the long neural-filter trainings.
+"""
+
+from __future__ import annotations
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--json",
+        action="store",
+        default=None,
+        metavar="PATH",
+        help=(
+            "write each benchmark's BENCH_<name>.json to PATH (a directory, "
+            "or a file path when running a single benchmark)"
+        ),
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "parallel: parallel pipelined execution engine tests"
+    )
+    config.addinivalue_line("markers", "slow: long-running training tests")

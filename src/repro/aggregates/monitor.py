@@ -34,6 +34,7 @@ from repro.detection.base import Detector, FrameDetections
 from repro.filters.base import FilterPrediction, FrameFilter
 from repro.query.ast import Query, WindowSpec
 from repro.query.evaluation import evaluate_predicates_on_detections
+from repro.query.parallel import FramePrefetcher, ParallelConfig
 from repro.query.temporal import DeltaGate, TemporalConfig, TemporalStats, clocks_detached
 from repro.video.stream import Frame, VideoStream
 
@@ -151,6 +152,7 @@ class AggregateMonitor:
         stream: VideoStream,
         indices: Sequence[int],
         temporal: TemporalConfig | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> tuple[np.ndarray, np.ndarray, TemporalStats | None]:
         """Evaluate exact values and controls on the sampled frames.
 
@@ -172,19 +174,40 @@ class AggregateMonitor:
         mode every reuse is verified with the clock detached and the
         verified values are the ones used, keeping estimates bit-identical
         to the ungated path.
+
+        A ``parallel`` config contributes decode-ahead rendering of the
+        sampled frames (estimation itself stays one vectorized batch plus a
+        sequential detector loop, so estimates are bit-identical with or
+        without it).
         """
-        if temporal is None:
-            exact_values = np.zeros(len(indices))
-            controls = np.zeros((len(indices), len(spec.control_values)))
-            frames = [stream.frame(int(frame_index)) for frame_index in indices]
-            predictions = self.frame_filter.predict_batch(frames)
-            for row, (frame, prediction) in enumerate(zip(frames, predictions)):
-                detections = self.detector.detect(frame)
-                exact_values[row] = spec.exact_value(detections)
-                for col, control in enumerate(spec.control_values):
-                    controls[row, col] = control(prediction)
-            return exact_values, controls, None
-        return self._evaluate_samples_temporal(spec, stream, indices, temporal)
+        prefetcher: FramePrefetcher | None = None
+        fetch = stream.frame
+        if parallel is not None:
+            prefetcher = FramePrefetcher(
+                stream,
+                [int(frame_index) for frame_index in indices],
+                depth=parallel.prefetch_depth * parallel.chunk_size,
+                threads=parallel.effective_prefetch_threads,
+            )
+            fetch = prefetcher.frame
+        try:
+            if temporal is None:
+                exact_values = np.zeros(len(indices))
+                controls = np.zeros((len(indices), len(spec.control_values)))
+                frames = [fetch(int(frame_index)) for frame_index in indices]
+                predictions = self.frame_filter.predict_batch(frames)
+                for row, (frame, prediction) in enumerate(zip(frames, predictions)):
+                    detections = self.detector.detect(frame)
+                    exact_values[row] = spec.exact_value(detections)
+                    for col, control in enumerate(spec.control_values):
+                        controls[row, col] = control(prediction)
+                return exact_values, controls, None
+            return self._evaluate_samples_temporal(
+                spec, stream, indices, temporal, fetch=fetch
+            )
+        finally:
+            if prefetcher is not None:
+                prefetcher.close()
 
     def _evaluate_samples_temporal(
         self,
@@ -192,7 +215,9 @@ class AggregateMonitor:
         stream: VideoStream,
         indices: Sequence[int],
         temporal: TemporalConfig,
+        fetch=None,
     ) -> tuple[np.ndarray, np.ndarray, TemporalStats]:
+        fetch = fetch if fetch is not None else stream.frame
         exact_values = np.zeros(len(indices))
         controls = np.zeros((len(indices), len(spec.control_values)))
         gate = DeltaGate(temporal)
@@ -216,7 +241,7 @@ class AggregateMonitor:
                 return evaluate(frame)
 
         for position, frame_index in enumerate(indices):
-            frame = stream.frame(int(frame_index))
+            frame = fetch(int(frame_index))
             if gate.decide(frame.image):
                 gate.mark_reused()
                 reused += 1
@@ -258,6 +283,7 @@ class AggregateMonitor:
         window: WindowBounds | None = None,
         frame_indices: Sequence[int] | None = None,
         temporal: TemporalConfig | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> MonitoringReport:
         """Estimate one aggregate query by sampling ``sample_size`` frames.
 
@@ -266,7 +292,8 @@ class AggregateMonitor:
         estimate; with multiple controls the multiple-CV estimator is used.
         ``temporal`` delta-gates the sample evaluation (see
         :meth:`_evaluate_samples`); the sampled indices themselves are drawn
-        identically either way.
+        identically either way.  ``parallel`` adds decode-ahead rendering of
+        the sampled frames without changing any estimate.
         """
         # Delta-snapshot accounting rather than a reset, so a caller-supplied
         # shared clock keeps its history across estimates (same contract as
@@ -290,7 +317,7 @@ class AggregateMonitor:
             else:
                 chosen = np.asarray(frame_indices)
             exact_values, controls, temporal_stats = self._evaluate_samples(
-                spec, stream, list(chosen), temporal=temporal
+                spec, stream, list(chosen), temporal=temporal, parallel=parallel
             )
         finally:
             self.frame_filter.clock = previous_filter_clock

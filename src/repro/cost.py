@@ -18,6 +18,7 @@ separately reports the wall-clock cost of our own code.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 
 # Latencies in milliseconds per frame, as reported in Section IV of the paper.
@@ -139,6 +140,83 @@ class CostBreakdown:
         return delta
 
 
+def merge_worker_breakdowns(breakdowns: Iterable[CostBreakdown]) -> CostBreakdown:
+    """Merge per-worker cost breakdowns into one total.
+
+    Parallel execution charges each worker's filter work to a private
+    per-worker clock (a shared clock would race and lose updates under
+    threads); the merged breakdown is what the run charged overall.  Merging
+    is order-dependent only at float rounding: component call counts are
+    exact integers, milliseconds agree with a single-clock run to the last
+    ulp or two.
+    """
+    merged = CostBreakdown()
+    for breakdown in breakdowns:
+        merged = merged.merged_with(breakdown)
+    return merged
+
+
+@dataclass(frozen=True)
+class ParallelCostReport:
+    """Cost accounting for one parallel pipelined execution.
+
+    ``per_worker`` holds one entry per worker that executed at least one
+    chunk — the merge of that worker's chunk deltas, ordered by worker label
+    (thread ids in numeric order; process entries by pid); ``wall_clock_seconds``
+    is the whole run's wall clock.  The report puts the two cost notions of this
+    codebase side by side: the *simulated* cost is invariant under
+    parallelism (the same component invocations happen, so the paper-model
+    milliseconds are identical to a sequential run), while the *wall clock*
+    is what the worker pool actually buys.
+    """
+
+    per_worker: tuple[CostBreakdown, ...]
+    wall_clock_seconds: float
+
+    @property
+    def num_workers(self) -> int:
+        return len(self.per_worker)
+
+    @property
+    def merged(self) -> CostBreakdown:
+        """All workers' simulated filter cost combined."""
+        return merge_worker_breakdowns(self.per_worker)
+
+    @property
+    def simulated_seconds(self) -> float:
+        return self.merged.total_seconds
+
+    @property
+    def worker_seconds(self) -> tuple[float, ...]:
+        """Per-worker simulated seconds, for load-balance inspection."""
+        return tuple(breakdown.total_seconds for breakdown in self.per_worker)
+
+    @property
+    def balance(self) -> float:
+        """Mean over max of the per-worker simulated loads (1.0 = perfectly even).
+
+        ``nan`` when no worker charged anything (e.g. an empty scan or a
+        prefetch-only parallel run).
+        """
+        seconds = self.worker_seconds
+        peak = max(seconds, default=0.0)
+        if peak <= 0.0:
+            return float("nan")
+        return (sum(seconds) / len(seconds)) / peak
+
+    @property
+    def simulated_over_wall(self) -> float:
+        """Simulated seconds per wall-clock second of the filter phase.
+
+        A pure reporting ratio (the two clocks measure different things —
+        paper-model GPU latencies vs this reproduction's numpy wall time);
+        ``inf`` when the run took no measurable wall time.
+        """
+        if self.wall_clock_seconds <= 0.0:
+            return float("inf") if self.simulated_seconds > 0.0 else 0.0
+        return self.simulated_seconds / self.wall_clock_seconds
+
+
 @dataclass(frozen=True)
 class SharedCostReport:
     """Cost accounting for a shared multi-query execution.
@@ -229,6 +307,19 @@ class SimulatedClock:
         breakdown.per_component_reused[component] = (
             breakdown.per_component_reused.get(component, 0) + calls
         )
+
+    def absorb(self, breakdown: CostBreakdown) -> None:
+        """Add a detached breakdown (e.g. a parallel worker's chunk delta) to this clock.
+
+        The parallel engine charges filter work to per-worker clocks and
+        absorbs each chunk's delta into the main clock at the in-order merge
+        point, so the main clock's history reads exactly like a sequential
+        run's: chunk by chunk, in stream order.
+        """
+        for name, ms in breakdown.per_component_ms.items():
+            self.charge(name, ms, calls=breakdown.per_component_calls.get(name, 0))
+        for name, reused in breakdown.per_component_reused.items():
+            self.reuse(name, reused)
 
     def reset(self) -> None:
         """Discard all accumulated cost."""

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 
 from repro.experiments.context import ExperimentConfig, get_context
 from repro.query import (
+    ParallelConfig,
     PlannerConfig,
     QueryBuilder,
     QueryPlanner,
@@ -147,6 +148,7 @@ def run(
     query_names: tuple[str, ...] | None = None,
     shared: bool = False,
     temporal: TemporalConfig | None = None,
+    parallel: ParallelConfig | None = None,
 ) -> list[dict[str, object]]:
     """Execute q1–q7 (or a subset) and report one Table III row per query.
 
@@ -162,6 +164,11 @@ def run(
     rate, reused-vs-computed call counts and (in exact mode) how many reuses
     the verification caught drifting.  The brute-force baseline always runs
     non-temporal, so speedups fold the temporal savings in.
+
+    A ``parallel`` config runs each filtered execution through the parallel
+    pipelined engine (simulated costs and every row are unchanged — the
+    engine is bit-identical to the sequential path — but wall clock drops on
+    multi-core machines).  The brute-force baselines stay sequential.
     """
     specs = [
         spec
@@ -181,7 +188,8 @@ def run(
             ]
             executor = StreamingQueryExecutor(context.reference_detector(seed_offset=300))
             multi = executor.execute_many(
-                queries, context.dataset.test, cascades, temporal=temporal
+                queries, context.dataset.test, cascades,
+                temporal=temporal, parallel=parallel,
             )
             # The brute-force baseline shares its single full-detection pass
             # across the group as well (empty cascades = annotate every frame).
@@ -204,7 +212,9 @@ def run(
         query = spec.build(context)
         cascade = _plan(context, spec, query)
         executor = StreamingQueryExecutor(context.reference_detector(seed_offset=300))
-        filtered = executor.execute(query, context.dataset.test, cascade, temporal=temporal)
+        filtered = executor.execute(
+            query, context.dataset.test, cascade, temporal=temporal, parallel=parallel
+        )
         brute = brute_force_execute(
             query, context.dataset.test, context.reference_detector(seed_offset=300)
         )

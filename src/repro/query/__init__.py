@@ -27,13 +27,23 @@ from repro.query.parser import ParseError, parse_query
 from repro.query.evaluation import evaluate_predicates_on_detections
 from repro.query.planner import (
     CascadeStep,
+    CountCheck,
     FilterCascade,
+    LocationCheck,
     PlannerConfig,
     QueryPlanner,
     measure_cascade_selectivity,
     merge_cascade_steps,
     order_cascade_by_selectivity,
+    replan_cascade,
+    replan_order,
     shared_step_key,
+)
+from repro.query.parallel import (
+    CascadeProfiler,
+    ParallelConfig,
+    ParallelStats,
+    PlanRevision,
 )
 from repro.query.executor import (
     AggregateExecutionResult,
@@ -76,7 +86,15 @@ __all__ = [
     "measure_cascade_selectivity",
     "merge_cascade_steps",
     "order_cascade_by_selectivity",
+    "replan_cascade",
+    "replan_order",
     "shared_step_key",
+    "CountCheck",
+    "LocationCheck",
+    "ParallelConfig",
+    "ParallelStats",
+    "PlanRevision",
+    "CascadeProfiler",
     "StreamingQueryExecutor",
     "QueryExecutionResult",
     "MultiQueryExecutionResult",

@@ -78,6 +78,17 @@ from repro.detection.base import Detector
 from repro.filters.base import FilterPrediction, FrameFilter
 from repro.query.ast import Query
 from repro.query.evaluation import evaluate_predicates_on_detections
+from repro.query.parallel import (
+    CascadeProfiler,
+    ChunkOutcome,
+    FramePrefetcher,
+    ParallelConfig,
+    ParallelStats,
+    PlanRevision,
+    run_filter_chunk,
+    run_parallel_scan,
+)
+from repro.cost import ParallelCostReport
 from repro.query.planner import FilterCascade, merge_cascade_steps
 from repro.query.temporal import (
     TemporalConfig,
@@ -104,6 +115,12 @@ class ExecutionStats:
     wall_clock_seconds: float
     #: chunk size of the batched execution mode; ``None`` = sequential
     batch_size: int | None = None
+    #: mid-stream cascade reorders performed by the adaptive re-planner
+    #: (empty unless ``ParallelConfig(adaptive=True)`` was in effect)
+    plan_revisions: tuple[PlanRevision, ...] = ()
+    #: worker/prefetch telemetry of a parallel pipelined execution
+    #: (``None`` when the scan ran without a ``ParallelConfig``)
+    parallel: ParallelStats | None = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -265,6 +282,8 @@ class SharedExecutionStats:
     batch_size: int | None = None
     #: reuse/stride telemetry of a temporally-coherent shared scan
     temporal: TemporalStats | None = None
+    #: worker/prefetch telemetry of a parallel pipelined shared scan
+    parallel: ParallelStats | None = None
 
     @property
     def savings_ratio(self) -> float:
@@ -399,6 +418,7 @@ class StreamingQueryExecutor:
         batch_size: int | None = None,
         include_partial_windows: bool = True,
         temporal: TemporalConfig | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> QueryExecutionResult:
         """Run ``query`` over ``stream`` (optionally restricted to ``frame_indices``).
 
@@ -428,6 +448,21 @@ class StreamingQueryExecutor:
         bit-identical to a non-temporal run while the simulated cost shows
         what the approximate mode would charge; with ``exact=False`` reused
         verdicts are trusted as-is.
+
+        ``parallel`` runs the scan through the parallel pipelined engine
+        (see :mod:`repro.query.parallel`): the filter-cascade phase of
+        ``chunk_size``-frame chunks executes on ``num_workers`` concurrent
+        workers while a decode-ahead prefetcher renders upcoming chunks, and
+        results are re-merged in stream order — output is bit-identical to
+        the sequential batched path.  When ``batch_size`` is also given it
+        overrides the config's chunk size (parallel execution *is* batched
+        execution, distributed).  Combined with ``temporal`` the gating
+        stays sequential (reuse decisions are inherently order-dependent)
+        and parallelism contributes decode-ahead rendering only.  With
+        ``parallel.adaptive`` the cascade order is re-planned mid-stream
+        from observed pass rates; every reorder is logged in
+        ``stats.plan_revisions`` and the matched frames are unaffected
+        (conjunctive steps commute).
         """
         if batch_size is not None and batch_size < 1:
             raise ValueError(f"batch_size must be positive: {batch_size}")
@@ -455,17 +490,70 @@ class StreamingQueryExecutor:
         if hasattr(self.detector, "clock"):
             self.detector.clock = self.clock
 
+        effective_chunk = (
+            (batch_size or parallel.chunk_size) if parallel is not None else batch_size
+        )
         started = time.perf_counter()
         temporal_stats: TemporalStats | None = None
+        plan_revisions: tuple[PlanRevision, ...] = ()
+        per_worker: tuple = ()
+        num_chunks = 0
         try:
             if temporal is not None:
+                prefetcher: FramePrefetcher | None = None
+                profiler: CascadeProfiler | None = None
+                render = stream.frame
+                if parallel is not None:
+                    prefetcher = FramePrefetcher(
+                        stream,
+                        indices,
+                        depth=parallel.prefetch_depth * effective_chunk,
+                        threads=parallel.effective_prefetch_threads,
+                    )
+                    render = prefetcher.frame
+                    if parallel.adaptive:
+                        profiler = CascadeProfiler(cascade, parallel)
+                try:
+                    (
+                        matched,
+                        passed,
+                        filter_invocations,
+                        detector_invocations,
+                        temporal_stats,
+                    ) = self._run_temporal(
+                        query, stream, cascade, indices, temporal,
+                        render=render, profiler=profiler,
+                    )
+                finally:
+                    if prefetcher is not None:
+                        prefetcher.close()
+                if profiler is not None:
+                    plan_revisions = tuple(profiler.revisions)
+            elif parallel is not None:
                 (
-                    matched,
-                    passed,
-                    filter_invocations,
+                    matched_lists,
+                    passed_lists,
+                    invocation_list,
+                    _attributed,
+                    _computed,
                     detector_invocations,
-                    temporal_stats,
-                ) = self._run_temporal(query, stream, cascade, indices, temporal)
+                    profilers,
+                    per_worker,
+                    num_chunks,
+                ) = self._run_parallel_chunked(
+                    [query],
+                    stream,
+                    [cascade],
+                    [list(range(len(cascade.steps)))],
+                    None,
+                    indices,
+                    parallel,
+                    effective_chunk,
+                )
+                matched, passed = matched_lists[0], passed_lists[0]
+                filter_invocations = invocation_list[0]
+                if profilers is not None:
+                    plan_revisions = tuple(profilers[0].revisions)
             else:
                 if batch_size is None:
                     counters = self._run_sequential(query, stream, cascade, indices)
@@ -480,6 +568,20 @@ class StreamingQueryExecutor:
                 self.detector.clock = previous_detector_clock
         elapsed = time.perf_counter() - started
 
+        parallel_stats = (
+            ParallelStats(
+                backend=parallel.backend,
+                num_workers=parallel.num_workers,
+                chunk_size=effective_chunk,
+                prefetch_depth=parallel.prefetch_depth,
+                num_chunks=num_chunks,
+                cost=ParallelCostReport(
+                    per_worker=per_worker, wall_clock_seconds=elapsed
+                ),
+            )
+            if parallel is not None
+            else None
+        )
         stats = ExecutionStats(
             frames_scanned=len(indices),
             frames_passed_filters=len(passed),
@@ -487,7 +589,9 @@ class StreamingQueryExecutor:
             filter_invocations=filter_invocations,
             simulated_cost=self.clock.delta_since(cost_baseline),
             wall_clock_seconds=elapsed,
-            batch_size=batch_size,
+            batch_size=effective_chunk if temporal is None else batch_size,
+            plan_revisions=plan_revisions,
+            parallel=parallel_stats,
         )
         windows = (
             _partition_into_windows(window_bounds, indices, passed, matched)
@@ -517,6 +621,7 @@ class StreamingQueryExecutor:
         batch_size: int | None = None,
         include_partial_windows: bool = True,
         temporal: TemporalConfig | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> MultiQueryExecutionResult:
         """Run several queries over ``stream`` in one shared scan.
 
@@ -565,6 +670,13 @@ class StreamingQueryExecutor:
         sequential and cannot be combined with ``batch_size``; in the
         default ``exact=True`` mode per-query results stay bit-identical to
         a non-temporal run.
+
+        ``parallel`` distributes the shared scan's filter phase across the
+        worker pool exactly as in :meth:`execute` — the cross-query
+        prediction cache lives per chunk, so sharing is unaffected — with
+        the detector phase and predicate evaluation at the in-order merge.
+        Adaptive re-planning profiles each query's cascade independently;
+        per-query ``stats.plan_revisions`` carry the reorders.
         """
         queries = list(queries)
         if not queries:
@@ -639,10 +751,61 @@ class StreamingQueryExecutor:
         shared_detector_invocations = 0
         temporal_stats: TemporalStats | None = None
         chunk_size = batch_size if batch_size is not None else 1
+        if parallel is not None:
+            chunk_size = batch_size or parallel.chunk_size
+        per_query_revisions: list[tuple[PlanRevision, ...]] = [
+            () for _ in range(num_queries)
+        ]
+        per_worker: tuple = ()
+        num_chunks = 0
 
         started = time.perf_counter()
         try:
             if temporal is not None:
+                prefetcher: FramePrefetcher | None = None
+                profilers: list[CascadeProfiler] | None = None
+                render = stream.frame
+                if parallel is not None:
+                    prefetcher = FramePrefetcher(
+                        stream,
+                        union_indices,
+                        depth=parallel.prefetch_depth * chunk_size,
+                        threads=parallel.effective_prefetch_threads,
+                    )
+                    render = prefetcher.frame
+                    if parallel.adaptive:
+                        profilers = [
+                            CascadeProfiler(cascade, parallel)
+                            for cascade in query_cascades
+                        ]
+                try:
+                    (
+                        matched,
+                        passed,
+                        filter_invocations,
+                        attributed_calls,
+                        shared_filter_computations,
+                        shared_detector_invocations,
+                        temporal_stats,
+                    ) = self._run_many_temporal(
+                        queries,
+                        stream,
+                        query_cascades,
+                        assignments,
+                        member_sets,
+                        union_indices,
+                        temporal,
+                        render=render,
+                        profilers=profilers,
+                    )
+                finally:
+                    if prefetcher is not None:
+                        prefetcher.close()
+                if profilers is not None:
+                    per_query_revisions = [
+                        tuple(profiler.revisions) for profiler in profilers
+                    ]
+            elif parallel is not None:
                 (
                     matched,
                     passed,
@@ -650,16 +813,23 @@ class StreamingQueryExecutor:
                     attributed_calls,
                     shared_filter_computations,
                     shared_detector_invocations,
-                    temporal_stats,
-                ) = self._run_many_temporal(
+                    profilers,
+                    per_worker,
+                    num_chunks,
+                ) = self._run_parallel_chunked(
                     queries,
                     stream,
                     query_cascades,
                     assignments,
                     member_sets,
                     union_indices,
-                    temporal,
+                    parallel,
+                    chunk_size,
                 )
+                if profilers is not None:
+                    per_query_revisions = [
+                        tuple(profiler.revisions) for profiler in profilers
+                    ]
             else:
                 (
                     shared_filter_computations,
@@ -684,6 +854,20 @@ class StreamingQueryExecutor:
                 self.detector.clock = previous_detector_clock
         elapsed = time.perf_counter() - started
         shared_breakdown = self.clock.delta_since(cost_baseline)
+        parallel_stats = (
+            ParallelStats(
+                backend=parallel.backend,
+                num_workers=parallel.num_workers,
+                chunk_size=chunk_size,
+                prefetch_depth=parallel.prefetch_depth,
+                num_chunks=num_chunks,
+                cost=ParallelCostReport(
+                    per_worker=per_worker, wall_clock_seconds=elapsed
+                ),
+            )
+            if parallel is not None
+            else None
+        )
 
         detector_component = getattr(self.detector, "name", "detector")
         detector_latency = float(getattr(self.detector, "latency_ms", 0.0))
@@ -716,7 +900,8 @@ class StreamingQueryExecutor:
                 filter_invocations=filter_invocations[position],
                 simulated_cost=breakdown,
                 wall_clock_seconds=elapsed,
-                batch_size=batch_size,
+                batch_size=chunk_size if parallel is not None else batch_size,
+                plan_revisions=per_query_revisions[position],
             )
             windows = (
                 _partition_into_windows(
@@ -745,8 +930,9 @@ class StreamingQueryExecutor:
             total_steps=sum(len(cascade) for cascade in query_cascades),
             cost=SharedCostReport(shared=shared_breakdown, attributed=attributed),
             wall_clock_seconds=elapsed,
-            batch_size=batch_size,
+            batch_size=chunk_size if parallel is not None else batch_size,
             temporal=temporal_stats,
+            parallel=parallel_stats,
         )
         return MultiQueryExecutionResult(results=tuple(results), shared=shared_stats)
 
@@ -767,75 +953,149 @@ class StreamingQueryExecutor:
         """The shared multi-query chunk loop (non-temporal).
 
         Mutates the per-query accumulators in place and returns the shared
-        scan's actual ``(filter_computations, detector_invocations)``.
+        scan's actual ``(filter_computations, detector_invocations)``.  The
+        filter phase is :func:`~repro.query.parallel.run_filter_chunk` — the
+        very function the parallel workers execute — so the parallel engine
+        is chunk-for-chunk identical to this loop by construction.
         """
         num_queries = len(queries)
         shared_filter_computations = 0
         shared_detector_invocations = 0
+        identity_orders = [
+            list(range(len(cascade.steps))) for cascade in query_cascades
+        ]
         for start in range(0, len(union_indices), chunk_size):
             chunk = list(union_indices[start : start + chunk_size])
             # (a) one materialisation per frame, shared by every query
-            frames = {index: stream.frame(index) for index in chunk}
-            # (b) cross-query caches: predictions by filter identity,
-            # check outcomes by deduped step
-            predictions: dict[tuple, dict[int, FilterPrediction]] = {}
-            outcomes: dict[tuple[int, int], bool] = {}
+            frames = [stream.frame(index) for index in chunk]
+            # (b) cascades over the chunk, with cross-query sharing
+            covered = [
+                [index in member_sets[position] for index in chunk]
+                for position in range(num_queries)
+            ]
+            alive, invocations, attributed, computed, _step_stats = run_filter_chunk(
+                query_cascades, assignments, covered, identity_orders, frames
+            )
+            shared_filter_computations += computed
             alive_sets: list[set[int]] = []
-            for position, (cascade, step_positions) in enumerate(
-                zip(query_cascades, assignments)
-            ):
-                alive = [index for index in chunk if index in member_sets[position]]
-                counted: dict[int, set[tuple]] = {}
-                for step, unique_position in zip(cascade, step_positions):
-                    if not alive:
-                        break
-                    identity = step.frame_filter.identity
-                    per_filter = predictions.setdefault(identity, {})
-                    missing = [index for index in alive if index not in per_filter]
-                    if missing:
-                        batch = step.frame_filter.predict_batch(
-                            [frames[index] for index in missing]
-                        )
-                        shared_filter_computations += len(missing)
-                        for index, prediction in zip(missing, batch):
-                            per_filter[index] = prediction
-                    # Attribute one invocation per (query, frame, filter),
-                    # exactly as a standalone run of this query would pay.
-                    component = (step.frame_filter.name, step.frame_filter.latency_ms)
-                    for index in alive:
-                        seen = counted.setdefault(index, set())
-                        if identity not in seen:
-                            seen.add(identity)
-                            filter_invocations[position] += 1
-                            attributed_calls[position][component] = (
-                                attributed_calls[position].get(component, 0) + 1
-                            )
-                    still_alive = []
-                    for index in alive:
-                        outcome_key = (unique_position, index)
-                        if outcome_key not in outcomes:
-                            outcomes[outcome_key] = step.passes(per_filter[index])
-                        if outcomes[outcome_key]:
-                            still_alive.append(index)
-                    alive = still_alive
-                passed[position].extend(alive)
-                alive_sets.append(set(alive))
+            for position in range(num_queries):
+                passed[position].extend(alive[position])
+                alive_sets.append(set(alive[position]))
+                filter_invocations[position] += invocations[position]
+                for component, calls in attributed[position].items():
+                    attributed_calls[position][component] = (
+                        attributed_calls[position].get(component, 0) + calls
+                    )
             # (c) detector once per union survivor; detections evaluated
             # against each interested query's predicates
-            for index in chunk:
+            for frame in frames:
                 interested = [
                     position
                     for position in range(num_queries)
-                    if index in alive_sets[position]
+                    if frame.index in alive_sets[position]
                 ]
                 if not interested:
                     continue
-                detections = self.detector.detect(frames[index])
+                detections = self.detector.detect(frame)
                 shared_detector_invocations += 1
                 for position in interested:
                     if evaluate_predicates_on_detections(queries[position], detections):
-                        matched[position].append(index)
+                        matched[position].append(frame.index)
         return shared_filter_computations, shared_detector_invocations
+
+    def _run_parallel_chunked(
+        self,
+        queries: Sequence[Query],
+        stream: VideoStream,
+        query_cascades: Sequence[FilterCascade],
+        assignments: Sequence[Sequence[int]],
+        member_sets: Sequence[set[int]] | None,
+        union_indices: Sequence[int],
+        config: ParallelConfig,
+        chunk_size: int,
+    ) -> tuple[
+        list[list[int]],
+        list[list[int]],
+        list[int],
+        list[dict[tuple[str, float], int]],
+        int,
+        int,
+        list[CascadeProfiler] | None,
+        tuple,
+        int,
+    ]:
+        """The parallel pipelined chunk scan (single- or multi-query).
+
+        Workers run :func:`~repro.query.parallel.run_filter_chunk` over
+        concurrent chunks; this method's merge callback consumes their
+        outcomes *in chunk order* — absorbing each chunk's filter cost into
+        the main clock, running the detector on the union survivors and
+        evaluating predicates — so every accumulator ends up exactly as the
+        sequential loop would have left it.
+        """
+        num_queries = len(queries)
+        matched: list[list[int]] = [[] for _ in range(num_queries)]
+        passed: list[list[int]] = [[] for _ in range(num_queries)]
+        filter_invocations = [0] * num_queries
+        attributed_calls: list[dict[tuple[str, float], int]] = [
+            {} for _ in range(num_queries)
+        ]
+        shared_filter_computations = 0
+        shared_detector_invocations = 0
+        profilers = (
+            [CascadeProfiler(cascade, config) for cascade in query_cascades]
+            if config.adaptive
+            else None
+        )
+
+        def merge(chunk_id: int, frames: list[Frame], outcome: ChunkOutcome) -> None:
+            nonlocal shared_filter_computations, shared_detector_invocations
+            self.clock.absorb(outcome.breakdown)
+            shared_filter_computations += outcome.computed
+            alive_sets = [set(row) for row in outcome.alive]
+            for position in range(num_queries):
+                passed[position].extend(outcome.alive[position])
+                filter_invocations[position] += outcome.filter_invocations[position]
+                for component, calls in outcome.attributed[position].items():
+                    attributed_calls[position][component] = (
+                        attributed_calls[position].get(component, 0) + calls
+                    )
+            for frame in frames:
+                interested = [
+                    position
+                    for position in range(num_queries)
+                    if frame.index in alive_sets[position]
+                ]
+                if not interested:
+                    continue
+                detections = self.detector.detect(frame)
+                shared_detector_invocations += 1
+                for position in interested:
+                    if evaluate_predicates_on_detections(queries[position], detections):
+                        matched[position].append(frame.index)
+
+        per_worker, num_chunks = run_parallel_scan(
+            config,
+            stream,
+            union_indices,
+            query_cascades,
+            assignments,
+            member_sets,
+            profilers,
+            chunk_size,
+            merge,
+        )
+        return (
+            matched,
+            passed,
+            filter_invocations,
+            attributed_calls,
+            shared_filter_computations,
+            shared_detector_invocations,
+            profilers,
+            per_worker,
+            num_chunks,
+        )
 
     # ------------------------------------------------------------------
     # Execution modes
@@ -925,6 +1185,8 @@ class StreamingQueryExecutor:
         cascade: FilterCascade,
         indices: Sequence[int],
         temporal: TemporalConfig,
+        render=None,
+        profiler: CascadeProfiler | None = None,
     ) -> tuple[list[int], list[int], int, int, TemporalStats]:
         """Temporally-coherent sequential execution of one query.
 
@@ -932,27 +1194,37 @@ class StreamingQueryExecutor:
         detector_invocations, stats)`` where the invocation counters reflect
         the work actually performed — reused and stride-skipped frames show
         up as reused calls on the clock and in ``stats``, not as
-        invocations.
+        invocations.  ``render`` overrides frame materialisation (the
+        parallel composition passes a decode-ahead prefetcher); ``profiler``
+        enables adaptive re-planning, fed by every fully charged evaluation
+        — the gate itself stays sequential, so revisions apply from the next
+        computed frame on.
         """
         filter_invocations = 0
         detector_invocations = 0
         filter_reuses = 0
         detector_reuses = 0
         detector_component = getattr(self.detector, "name", "detector")
+        render = render if render is not None else stream.frame
 
         def evaluate_frame(frame: Frame, charged: bool) -> _TemporalOutcome:
             nonlocal filter_invocations, detector_invocations
             predictions: dict[tuple, FilterPrediction] = {}
             components: list[str] = []
+            step_stats = [(0, 0)] * len(cascade.steps)
+            order = profiler.order if profiler is not None else range(len(cascade.steps))
             passed = True
-            for step in cascade:
+            for step_position in order:
+                step = cascade.steps[step_position]
                 key = step.frame_filter.identity
                 if key not in predictions:
                     predictions[key] = step.frame_filter.predict(frame)
                     components.append(step.frame_filter.name)
                     if charged:
                         filter_invocations += 1
-                if not step.passes(predictions[key]):
+                step_passed = step.passes(predictions[key])
+                step_stats[step_position] = (1, 1 if step_passed else 0)
+                if not step_passed:
                     passed = False
                     break
             matched = False
@@ -961,6 +1233,8 @@ class StreamingQueryExecutor:
                 if charged:
                     detector_invocations += 1
                 matched = evaluate_predicates_on_detections(query, detections)
+            if charged and profiler is not None:
+                profiler.observe(step_stats, frame.index)
             return _TemporalOutcome(
                 passed=passed, matched=matched, components=tuple(components)
             )
@@ -980,7 +1254,7 @@ class StreamingQueryExecutor:
 
         scan = TemporalScan(
             temporal,
-            render=stream.frame,
+            render=render,
             compute=lambda frame: evaluate_frame(frame, charged=True),
             verify=verify,
             reuse_charge=reuse_charge,
@@ -1006,6 +1280,8 @@ class StreamingQueryExecutor:
         member_sets: Sequence[set[int]],
         union_indices: Sequence[int],
         temporal: TemporalConfig,
+        render=None,
+        profilers: Sequence[CascadeProfiler] | None = None,
     ) -> tuple[
         list[list[int]],
         list[list[int]],
@@ -1033,6 +1309,7 @@ class StreamingQueryExecutor:
         filter_reuses = 0
         detector_reuses = 0
         detector_component = getattr(self.detector, "name", "detector")
+        render = render if render is not None else stream.frame
         distinct_filters: list[FrameFilter] = []
         for cascade in query_cascades:
             for frame_filter in cascade.filters:
@@ -1068,9 +1345,17 @@ class StreamingQueryExecutor:
                 alive = True
                 counted: set[tuple] = set()
                 components: list[tuple[str, float]] = []
-                for step, unique_position in zip(cascade, step_positions):
+                step_stats = [(0, 0)] * len(cascade.steps)
+                order = (
+                    profilers[position].order
+                    if profilers is not None
+                    else range(len(cascade.steps))
+                )
+                for step_position in order:
                     if not alive:
                         break
+                    step = cascade.steps[step_position]
+                    unique_position = step_positions[step_position]
                     identity = step.frame_filter.identity
                     if identity not in predictions:
                         predictions[identity] = step.frame_filter.predict(frame)
@@ -1086,8 +1371,14 @@ class StreamingQueryExecutor:
                         step_outcomes[unique_position] = step.passes(
                             predictions[identity]
                         )
+                    step_stats[step_position] = (
+                        1,
+                        1 if step_outcomes[unique_position] else 0,
+                    )
                     if not step_outcomes[unique_position]:
                         alive = False
+                if charged and profilers is not None:
+                    profilers[position].observe(step_stats, index)
                 verdicts[position] = [tuple(components), alive, False]
                 if alive:
                     survivors.append(position)
@@ -1132,7 +1423,7 @@ class StreamingQueryExecutor:
 
         scan = TemporalScan(
             temporal,
-            render=stream.frame,
+            render=render,
             compute=lambda frame: evaluate_frame(frame, charged=True),
             verify=verify,
             reuse_charge=reuse_charge,
@@ -1185,6 +1476,7 @@ class StreamingQueryExecutor:
         seed: int = 0,
         include_partial_windows: bool = False,
         temporal: TemporalConfig | None = None,
+        parallel: ParallelConfig | None = None,
     ) -> AggregateExecutionResult:
         """Estimate an aggregate monitoring query through the planner/executor API.
 
@@ -1213,6 +1505,11 @@ class StreamingQueryExecutor:
         sorted, so nearby samples of a stable stream are nearly identical).
         Exact mode verifies every reuse, keeping estimates bit-identical to
         a non-temporal run.
+
+        ``parallel`` contributes decode-ahead rendering of each estimate's
+        sampled frames (sample evaluation itself is already one vectorized
+        batch, so the estimates are unchanged — only the wall clock drops
+        when rendering dominates).
         """
         if repetitions < 1:
             raise ValueError(f"repetitions must be positive: {repetitions}")
@@ -1239,7 +1536,12 @@ class StreamingQueryExecutor:
                     bounds=bounds,
                     reports=tuple(
                         monitor.estimate(
-                            spec, stream, sample_size, window=bounds, temporal=temporal
+                            spec,
+                            stream,
+                            sample_size,
+                            window=bounds,
+                            temporal=temporal,
+                            parallel=parallel,
                         )
                         for _ in range(repetitions)
                     ),
@@ -1260,7 +1562,9 @@ class StreamingQueryExecutor:
                 )
         else:
             reports = tuple(
-                monitor.estimate(spec, stream, sample_size, temporal=temporal)
+                monitor.estimate(
+                    spec, stream, sample_size, temporal=temporal, parallel=parallel
+                )
                 for _ in range(repetitions)
             )
         return AggregateExecutionResult(

@@ -1,0 +1,887 @@
+"""Parallel pipelined execution: worker pools, decode-ahead prefetch, re-planning.
+
+The batched executor (PR 1) amortises numpy call overhead but still runs
+every stage on one core: render a chunk, filter it, verify the survivors,
+repeat.  This module turns that loop into a pipeline:
+
+* a **decode-ahead prefetcher** renders the next ``prefetch_depth`` chunks of
+  frames on background threads while earlier chunks are being filtered;
+* a **chunk-granular worker pool** runs the filter-cascade phase of several
+  chunks concurrently — ``backend="thread"`` gives each worker its own
+  deep-copied cascade (the numpy filters release the GIL in their stacked
+  operations but share scratch state, so workers must not share filter
+  objects), ``backend="process"`` ships the pickled cascades to each worker
+  once and the frames per chunk *zero-copy* through
+  ``multiprocessing.shared_memory`` (workers see numpy views over the shared
+  block; only pixels cross the boundary — ground truth stays in the parent,
+  preserving the rule that filters see nothing but pixels);
+* results are **re-merged in stream order**: the reference detector runs in
+  the main process on each chunk's cascade survivors exactly when that chunk
+  is merged, so matched frames, work counters and the simulated-cost history
+  are identical to the sequential batched path no matter how chunks raced.
+
+Cost accounting stays exact under concurrency by construction: each worker
+charges its filter work to a *private* :class:`~repro.cost.SimulatedClock`
+and returns the chunk's delta; the merge loop absorbs the deltas into the
+main clock in chunk order (:meth:`~repro.cost.SimulatedClock.absorb`), and
+the per-worker totals are reported in a
+:class:`~repro.cost.ParallelCostReport` alongside the run's wall clock.
+
+**Adaptive runtime re-planning** rides on the ordered merge stream: a
+:class:`CascadeProfiler` watches each step's live pass rate over a sliding
+window and, when the observed cost per rejection says the planned order is
+wasting filter milliseconds (a planning-time estimate was wrong, or the
+stream drifted), feeds the rates to
+:meth:`~repro.query.planner.QueryPlanner.replan` and switches subsequently
+*submitted* chunks to the corrected order.  Cascade steps are conjunctive,
+so reordering never changes which frames survive — every revision is logged
+as a :class:`PlanRevision` on the execution's stats, and ``adaptive`` is off
+by default.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import pickle
+import queue
+import sys
+import threading
+from collections import deque
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from multiprocessing import get_all_start_methods, get_context, shared_memory
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.cost import CostBreakdown, ParallelCostReport, SimulatedClock
+from repro.filters.base import FilterPrediction, FrameFilter
+from repro.query.planner import (
+    FilterCascade,
+    QueryPlanner,
+    expected_cascade_cost_ms,
+    replan_order,
+)
+from repro.video.stream import Frame, VideoStream
+
+
+@dataclass(frozen=True)
+class ParallelConfig:
+    """Knobs of the parallel pipelined execution engine.
+
+    ``num_workers`` filter workers process chunks of ``chunk_size`` frames
+    concurrently while the prefetcher keeps ``prefetch_depth`` further chunks
+    rendered ahead of submission.  ``backend`` selects threads (cheap to
+    start, share memory, scale as far as the filters release the GIL) or
+    processes (immune to the GIL; cascades are pickled to each worker once
+    and frames travel zero-copy through shared memory — requires picklable
+    cascades, which every planner-built cascade is).  See DESIGN.md for a
+    thread-vs-process decision guide.
+
+    ``adaptive=True`` enables mid-stream re-planning: every
+    ``adaptive_interval`` merged observations the profiler compares the
+    current step order against the order implied by the pass rates observed
+    over the last ``adaptive_window`` observations (ignoring steps with fewer
+    than ``adaptive_min_evaluated`` evaluated frames) and switches when the
+    expected per-frame filter cost improves by at least
+    ``adaptive_margin``x.  Off by default: the reorder is always
+    output-preserving, but cost accounting then depends on the observed
+    stream rather than the planned order.
+    """
+
+    num_workers: int = 4
+    backend: str = "thread"
+    chunk_size: int = 16
+    prefetch_depth: int = 2
+    prefetch_threads: int | None = None
+    adaptive: bool = False
+    adaptive_window: int = 32
+    adaptive_interval: int = 8
+    adaptive_margin: float = 1.2
+    adaptive_min_evaluated: int = 16
+
+    def __post_init__(self) -> None:
+        if self.num_workers < 1:
+            raise ValueError(f"num_workers must be positive: {self.num_workers}")
+        if self.backend not in ("thread", "process"):
+            raise ValueError(
+                f"backend must be 'thread' or 'process': {self.backend!r}"
+            )
+        if self.chunk_size < 1:
+            raise ValueError(f"chunk_size must be positive: {self.chunk_size}")
+        if self.prefetch_depth < 0:
+            raise ValueError(
+                f"prefetch_depth must be non-negative: {self.prefetch_depth}"
+            )
+        if self.prefetch_threads is not None and self.prefetch_threads < 1:
+            raise ValueError(
+                f"prefetch_threads must be positive: {self.prefetch_threads}"
+            )
+        if self.adaptive_window < 1 or self.adaptive_interval < 1:
+            raise ValueError("adaptive_window and adaptive_interval must be positive")
+        if self.adaptive_margin < 1.0:
+            raise ValueError(
+                f"adaptive_margin must be >= 1.0: {self.adaptive_margin}"
+            )
+        if self.adaptive_min_evaluated < 1:
+            raise ValueError(
+                f"adaptive_min_evaluated must be positive: {self.adaptive_min_evaluated}"
+            )
+
+    @property
+    def effective_prefetch_threads(self) -> int:
+        """Decode-ahead thread count (default: 2, but never more than the workers)."""
+        if self.prefetch_threads is not None:
+            return self.prefetch_threads
+        return max(1, min(2, self.num_workers))
+
+
+@dataclass(frozen=True)
+class PlanRevision:
+    """One mid-stream cascade reorder performed by the adaptive re-planner.
+
+    ``old_order`` / ``new_order`` hold the cascade's step positions (indices
+    into the *planned* cascade) in execution order before and after the
+    revision; ``step_names`` names the steps by planned position so the
+    orders are readable.  ``observed_pass_rates`` are the sliding-window pass
+    rates (by planned position, ``None`` = too few observations) that drove
+    the decision, and ``expected_gain`` the predicted per-frame filter-cost
+    ratio old/new under those rates.  ``at_frame`` is the stream index at
+    whose in-order merge point the revision was adopted; work submitted
+    after that point runs the new order (chunks already in flight finish
+    under the old one — harmless, since both orders pass the same frames).
+    """
+
+    at_frame: int
+    old_order: tuple[int, ...]
+    new_order: tuple[int, ...]
+    step_names: tuple[str, ...]
+    observed_pass_rates: tuple[float | None, ...]
+    expected_gain: float
+
+    def describe(self) -> str:
+        old = " -> ".join(self.step_names[position] for position in self.old_order)
+        new = " -> ".join(self.step_names[position] for position in self.new_order)
+        return (
+            f"frame {self.at_frame}: [{old}] => [{new}] "
+            f"(expected {self.expected_gain:.2f}x)"
+        )
+
+
+@dataclass(frozen=True)
+class ParallelStats:
+    """Telemetry of one parallel pipelined execution.
+
+    ``num_chunks == 0`` marks a prefetch-only run (the temporal-coherence
+    composition, where gating is inherently sequential and parallelism
+    contributes decode-ahead rendering only).
+    """
+
+    backend: str
+    num_workers: int
+    chunk_size: int
+    prefetch_depth: int
+    num_chunks: int
+    cost: ParallelCostReport
+
+
+class CascadeProfiler:
+    """Sliding-window selectivity/cost profiler driving adaptive re-planning.
+
+    The executor reports, for every merged chunk (or every fully evaluated
+    frame on the temporal path), how many frames each cascade step evaluated
+    and passed — *in planned-step positions*, so the bookkeeping is
+    independent of the order currently executing.  Every
+    ``adaptive_interval`` observations the profiler turns the window into
+    per-step pass rates, asks :meth:`QueryPlanner.replan` for the order those
+    rates imply, and adopts it iff the expected per-frame filter cost
+    improves by ``adaptive_margin``x (the margin plus the evaluation floor
+    keep borderline rates from making the order flap).  Observed rates are
+    conditional on the order that produced them — the classic independence
+    approximation of filter ordering, same as planning-time selectivity
+    measurement.
+    """
+
+    def __init__(self, cascade: FilterCascade, config: ParallelConfig) -> None:
+        self._cascade = cascade
+        self._config = config
+        self._latencies = [step.frame_filter.latency_ms for step in cascade.steps]
+        self._names = tuple(step.name for step in cascade.steps)
+        self._window: deque[Sequence[tuple[int, int]]] = deque()
+        self._totals = [[0, 0] for _ in cascade.steps]
+        self._since_consider = 0
+        self.order: tuple[int, ...] = tuple(range(len(cascade.steps)))
+        self.revisions: list[PlanRevision] = []
+
+    @property
+    def adaptive(self) -> bool:
+        return self._config.adaptive and len(self._latencies) > 1
+
+    def observe(self, step_stats: Sequence[tuple[int, int]], at_frame: int) -> None:
+        """Record one merged observation; maybe revise the order.
+
+        ``step_stats[p]`` is ``(evaluated, passed)`` for planned step ``p``;
+        ``at_frame`` is the stream index of the merge point, recorded on any
+        revision this observation triggers.
+        """
+        if not self.adaptive:
+            return
+        self._window.append(tuple(step_stats))
+        for position, (evaluated, passed) in enumerate(step_stats):
+            self._totals[position][0] += evaluated
+            self._totals[position][1] += passed
+        while len(self._window) > self._config.adaptive_window:
+            expired = self._window.popleft()
+            for position, (evaluated, passed) in enumerate(expired):
+                self._totals[position][0] -= evaluated
+                self._totals[position][1] -= passed
+        self._since_consider += 1
+        if self._since_consider >= self._config.adaptive_interval:
+            self._since_consider = 0
+            self._consider(at_frame)
+
+    def pass_rates(self) -> tuple[float | None, ...]:
+        """Windowed pass rate per planned step (``None`` below the evaluation floor)."""
+        floor = self._config.adaptive_min_evaluated
+        return tuple(
+            passed / evaluated if evaluated >= floor else None
+            for evaluated, passed in self._totals
+        )
+
+    def replanned_cascade(self) -> FilterCascade:
+        """The cascade reordered to the profiler's current order (via :meth:`QueryPlanner.replan`)."""
+        return QueryPlanner.replan(self._cascade, self.pass_rates())
+
+    def _consider(self, at_frame: int) -> None:
+        rates = self.pass_rates()
+        candidate = replan_order(self._latencies, rates)
+        if candidate == self.order:
+            return
+        current_cost = expected_cascade_cost_ms(self._latencies, rates, self.order)
+        candidate_cost = expected_cascade_cost_ms(self._latencies, rates, candidate)
+        if candidate_cost <= 0.0:
+            return
+        gain = current_cost / candidate_cost
+        if gain < self._config.adaptive_margin:
+            return
+        self.revisions.append(
+            PlanRevision(
+                at_frame=at_frame,
+                old_order=self.order,
+                new_order=candidate,
+                step_names=self._names,
+                observed_pass_rates=rates,
+                expected_gain=gain,
+            )
+        )
+        self.order = candidate
+
+
+# ----------------------------------------------------------------------
+# The chunk filter phase (shared by the sequential shared scan and both
+# parallel backends; must stay a top-level function for process pickling)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChunkOutcome:
+    """Result of one chunk's filter phase, as returned by a worker.
+
+    Everything downstream of the filters (detector, predicate evaluation,
+    window partitioning) happens at the in-order merge in the main process,
+    so this is the complete worker→main contract: per-query survivors,
+    per-query attributed work, the shared computation count, per-planned-step
+    profiler stats and the chunk's simulated filter cost.
+    """
+
+    chunk_id: int
+    worker: str
+    alive: tuple[tuple[int, ...], ...]
+    filter_invocations: tuple[int, ...]
+    attributed: tuple[dict[tuple[str, float], int], ...]
+    computed: int
+    step_stats: tuple[tuple[tuple[int, int], ...], ...]
+    breakdown: CostBreakdown
+
+
+def run_filter_chunk(
+    query_cascades: Sequence[FilterCascade],
+    assignments: Sequence[Sequence[int]],
+    covered: Sequence[Sequence[bool]] | None,
+    orders: Sequence[Sequence[int]],
+    frames: Sequence[Frame],
+) -> tuple[
+    list[list[int]],
+    list[int],
+    list[dict[tuple[str, float], int]],
+    int,
+    list[list[tuple[int, int]]],
+]:
+    """Run every query's cascade over one chunk of frames.
+
+    The shared-scan contract of ``execute_many``, restricted to one chunk: a
+    filter shared by several queries' cascades is evaluated at most once per
+    frame (cross-query prediction cache keyed by filter identity), deduped
+    steps share their pass/fail outcome, and each query's attribution counts
+    what a standalone run would have paid.  ``covered[q][k]`` masks frames
+    outside query ``q``'s window coverage (``None`` = all frames covered);
+    ``orders[q]`` is the execution order over cascade ``q``'s planned step
+    positions (the adaptive re-planner's output; identity when static).
+
+    Returns ``(alive, filter_invocations, attributed, computed,
+    step_stats)`` where ``alive[q]`` holds the stream indices that survived
+    query ``q``'s cascade in chunk order and ``step_stats[q][p]`` the
+    ``(evaluated, passed)`` counts of planned step ``p`` for the profiler.
+    """
+    num_queries = len(query_cascades)
+    alive_indices: list[list[int]] = []
+    filter_invocations = [0] * num_queries
+    attributed: list[dict[tuple[str, float], int]] = [{} for _ in range(num_queries)]
+    step_stats: list[list[tuple[int, int]]] = [
+        [(0, 0)] * len(cascade.steps) for cascade in query_cascades
+    ]
+    computed = 0
+    predictions: dict[tuple, dict[int, FilterPrediction]] = {}
+    outcomes: dict[tuple[int, int], bool] = {}
+    for position, (cascade, step_positions) in enumerate(
+        zip(query_cascades, assignments)
+    ):
+        if covered is None:
+            alive = list(range(len(frames)))
+        else:
+            alive = [k for k in range(len(frames)) if covered[position][k]]
+        counted: dict[int, set[tuple]] = {}
+        for step_position in orders[position]:
+            if not alive:
+                break
+            step = cascade.steps[step_position]
+            unique_position = step_positions[step_position]
+            identity = step.frame_filter.identity
+            per_filter = predictions.setdefault(identity, {})
+            missing = [k for k in alive if k not in per_filter]
+            if missing:
+                batch = step.frame_filter.predict_batch([frames[k] for k in missing])
+                computed += len(missing)
+                for k, prediction in zip(missing, batch):
+                    per_filter[k] = prediction
+            component = (step.frame_filter.name, step.frame_filter.latency_ms)
+            for k in alive:
+                seen = counted.setdefault(k, set())
+                if identity not in seen:
+                    seen.add(identity)
+                    filter_invocations[position] += 1
+                    attributed[position][component] = (
+                        attributed[position].get(component, 0) + 1
+                    )
+            still_alive = []
+            for k in alive:
+                outcome_key = (unique_position, k)
+                if outcome_key not in outcomes:
+                    outcomes[outcome_key] = step.passes(per_filter[k])
+                if outcomes[outcome_key]:
+                    still_alive.append(k)
+            step_stats[position][step_position] = (len(alive), len(still_alive))
+            alive = still_alive
+        alive_indices.append([frames[k].index for k in alive])
+    return alive_indices, filter_invocations, attributed, computed, step_stats
+
+
+# ----------------------------------------------------------------------
+# Decode-ahead prefetchers
+# ----------------------------------------------------------------------
+class ChunkPrefetcher:
+    """Renders whole chunks of frames ahead of worker submission.
+
+    ``get(chunk_id)`` blocks until that chunk's frames are materialised and
+    schedules rendering of the next ``depth`` chunks on the background pool,
+    so decode overlaps with the filter phase of earlier chunks.  Rendering
+    goes through :meth:`VideoStream.frame`, whose LRU cache is thread-safe.
+    """
+
+    def __init__(
+        self,
+        stream: VideoStream,
+        chunks: Sequence[Sequence[int]],
+        depth: int,
+        threads: int,
+    ) -> None:
+        self._stream = stream
+        self._chunks = chunks
+        self._depth = max(0, depth)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, threads), thread_name_prefix="decode-ahead"
+        )
+        self._futures: dict[int, Future] = {}
+        self._scheduled = 0
+
+    def _render(self, chunk: Sequence[int]) -> list[Frame]:
+        return [self._stream.frame(index) for index in chunk]
+
+    def _schedule_through(self, chunk_id: int) -> None:
+        limit = min(chunk_id + 1, len(self._chunks))
+        while self._scheduled < limit:
+            self._futures[self._scheduled] = self._pool.submit(
+                self._render, self._chunks[self._scheduled]
+            )
+            self._scheduled += 1
+
+    def get(self, chunk_id: int) -> list[Frame]:
+        self._schedule_through(chunk_id + self._depth)
+        future = self._futures.pop(chunk_id)
+        return future.result()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+class FramePrefetcher:
+    """Decode-ahead rendering for *sequential* scans (temporal gating, sampling).
+
+    Wraps ``stream.frame`` for scans that consume a known index sequence one
+    frame at a time: requesting a frame schedules background rendering of
+    the next ``depth`` indices of the sequence.  The window is bounded on
+    both sides — scheduled entries falling more than ``depth`` positions
+    behind the newest request are cancelled (if still queued) and dropped,
+    so an adaptive-stride scan that skips most of the sequence neither
+    retains every speculatively rendered frame nor decodes far behind the
+    scan head.  Out-of-window requests (binary-search refinement probes,
+    exact-mode re-verification) fall through to the stream — its
+    thread-safe LRU usually still holds them.
+    """
+
+    def __init__(
+        self,
+        stream: VideoStream,
+        indices: Sequence[int],
+        depth: int,
+        threads: int,
+    ) -> None:
+        self._stream = stream
+        self._order = list(indices)
+        self._position_of = {
+            index: position for position, index in enumerate(self._order)
+        }
+        self._depth = max(0, depth)
+        self._pool = ThreadPoolExecutor(
+            max_workers=max(1, threads), thread_name_prefix="decode-ahead"
+        )
+        self._futures: dict[int, Future] = {}
+        self._scheduled = 0
+        self._evicted = 0
+        self._lock = threading.Lock()
+
+    def _schedule_through(self, position: int) -> None:
+        limit = min(position + 1, len(self._order))
+        with self._lock:
+            while self._scheduled < limit:
+                index = self._order[self._scheduled]
+                self._futures[index] = self._pool.submit(self._stream.frame, index)
+                self._scheduled += 1
+
+    def _evict_behind(self, position: int) -> None:
+        limit = min(position - self._depth, len(self._order))
+        with self._lock:
+            while self._evicted < limit:
+                index = self._order[self._evicted]
+                future = self._futures.pop(index, None)
+                if future is not None:
+                    future.cancel()
+                self._evicted += 1
+
+    def frame(self, index: int) -> Frame:
+        position = self._position_of.get(index)
+        if position is not None:
+            self._schedule_through(position + self._depth)
+            self._evict_behind(position)
+        with self._lock:
+            future = self._futures.pop(index, None)
+        if future is not None and not future.cancelled():
+            return future.result()
+        return self._stream.frame(index)
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Worker backends
+# ----------------------------------------------------------------------
+def _distinct_filters(cascades: Sequence[FilterCascade]) -> list[FrameFilter]:
+    distinct: list[FrameFilter] = []
+    for cascade in cascades:
+        for frame_filter in cascade.filters:
+            if all(frame_filter is not existing for existing in distinct):
+                distinct.append(frame_filter)
+    return distinct
+
+
+def _attach_worker_clock(
+    cascades: Sequence[FilterCascade],
+) -> SimulatedClock:
+    clock = SimulatedClock()
+    for frame_filter in _distinct_filters(cascades):
+        frame_filter.clock = clock
+    return clock
+
+
+class _ThreadBackend:
+    """Thread pool with one private cascade clone (and clock) per worker.
+
+    The cascades of one worker are deep-copied *together*, so filters shared
+    across queries stay shared within the clone and the cross-query
+    prediction cache keeps working.  A free-list hands each task a clone;
+    at most ``num_workers`` tasks run at once, so a clone is never used
+    concurrently.
+    """
+
+    def __init__(
+        self,
+        config: ParallelConfig,
+        query_cascades: Sequence[FilterCascade],
+        assignments: Sequence[Sequence[int]],
+    ) -> None:
+        self._assignments = [list(row) for row in assignments]
+        self._slots: queue.SimpleQueue = queue.SimpleQueue()
+        for worker_id in range(config.num_workers):
+            clones = copy.deepcopy(list(query_cascades))
+            clock = _attach_worker_clock(clones)
+            self._slots.put((worker_id, clones, clock))
+        self._pool = ThreadPoolExecutor(
+            max_workers=config.num_workers, thread_name_prefix="filter-worker"
+        )
+
+    def submit(
+        self,
+        chunk_id: int,
+        indices: Sequence[int],
+        frames: Sequence[Frame],
+        covered: Sequence[Sequence[bool]] | None,
+        orders: Sequence[Sequence[int]],
+    ) -> tuple[Future, object]:
+        return (
+            self._pool.submit(self._task, chunk_id, frames, covered, orders),
+            None,
+        )
+
+    def _task(
+        self,
+        chunk_id: int,
+        frames: Sequence[Frame],
+        covered: Sequence[Sequence[bool]] | None,
+        orders: Sequence[Sequence[int]],
+    ) -> ChunkOutcome:
+        worker_id, cascades, clock = self._slots.get()
+        try:
+            baseline = clock.snapshot()
+            alive, invocations, attributed, computed, step_stats = run_filter_chunk(
+                cascades, self._assignments, covered, orders, frames
+            )
+            delta = clock.delta_since(baseline)
+        finally:
+            self._slots.put((worker_id, cascades, clock))
+        return ChunkOutcome(
+            chunk_id=chunk_id,
+            worker=f"thread-{worker_id}",
+            alive=tuple(tuple(row) for row in alive),
+            filter_invocations=tuple(invocations),
+            attributed=tuple(attributed),
+            computed=computed,
+            step_stats=tuple(tuple(row) for row in step_stats),
+            breakdown=delta,
+        )
+
+    def release(self, handle: object) -> None:  # symmetric with _ProcessBackend
+        return None
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+# Process-worker state installed once by the pool initializer: unpickling the
+# cascades per task would dwarf the filter work itself.
+_PROCESS_STATE: dict = {}
+
+
+def _init_process_worker(payload: bytes) -> None:
+    query_cascades, assignments = pickle.loads(payload)
+    _PROCESS_STATE["cascades"] = query_cascades
+    _PROCESS_STATE["assignments"] = assignments
+    _PROCESS_STATE["clock"] = _attach_worker_clock(query_cascades)
+
+
+def _attach_shared_memory(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing shared-memory block.
+
+    The parent owns the block's lifecycle: it unlinks (and unregisters) the
+    block once the chunk is merged.  Pool workers share the parent's
+    resource-tracker process, so the attach-side registration is a harmless
+    set-dedup — the worker must *not* unregister on close, or the parent's
+    unlink would trip the tracker.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _process_chunk_task(
+    chunk_id: int,
+    shm_name: str,
+    shape: tuple[int, ...],
+    dtype_name: str,
+    indices: Sequence[int],
+    covered: Sequence[Sequence[bool]] | None,
+    orders: Sequence[Sequence[int]],
+) -> ChunkOutcome:
+    state = _PROCESS_STATE
+    clock: SimulatedClock = state["clock"]
+    block = _attach_shared_memory(shm_name)
+    try:
+        images = np.ndarray(shape, dtype=np.dtype(dtype_name), buffer=block.buf)
+        frames = [
+            Frame(index=index, image=images[k], ground_truth=None)
+            for k, index in enumerate(indices)
+        ]
+        baseline = clock.snapshot()
+        alive, invocations, attributed, computed, step_stats = run_filter_chunk(
+            state["cascades"], state["assignments"], covered, orders, frames
+        )
+        delta = clock.delta_since(baseline)
+    finally:
+        # Drop every view over the shared block before closing it; a live
+        # exported buffer would make close() raise.
+        frames = None
+        images = None
+        try:
+            block.close()
+        except BufferError:  # pragma: no cover - defensive
+            pass
+    return ChunkOutcome(
+        chunk_id=chunk_id,
+        worker=f"pid-{os.getpid()}",
+        alive=tuple(tuple(row) for row in alive),
+        filter_invocations=tuple(invocations),
+        attributed=tuple(attributed),
+        computed=computed,
+        step_stats=tuple(tuple(row) for row in step_stats),
+        breakdown=delta,
+    )
+
+
+def _process_warmup() -> bool:
+    return "cascades" in _PROCESS_STATE
+
+
+class _ProcessBackend:
+    """Process pool: cascades pickled once per worker, frames shipped zero-copy."""
+
+    def __init__(
+        self,
+        config: ParallelConfig,
+        query_cascades: Sequence[FilterCascade],
+        assignments: Sequence[Sequence[int]],
+    ) -> None:
+        try:
+            payload = pickle.dumps(
+                (list(query_cascades), [list(row) for row in assignments])
+            )
+        except Exception as error:
+            raise ValueError(
+                "backend='process' needs picklable cascades (planner-built "
+                "cascades are; hand-built lambda checks are not) — use "
+                "backend='thread' instead"
+            ) from error
+        # Fork is the cheap path (no re-import, payload inherited) but is
+        # only reliably safe on Linux — macOS's Objective-C runtime aborts
+        # in forked children, which is why CPython's own default there is
+        # spawn.  Everywhere else, pay the spawn cost.
+        methods = get_all_start_methods()
+        use_fork = sys.platform == "linux" and "fork" in methods
+        context = get_context("fork" if use_fork else "spawn")
+        # Start the parent's resource tracker before any worker exists, so
+        # every worker inherits it: the workers' attach-side shared-memory
+        # registrations then dedupe against the parent's create-side ones
+        # instead of spawning per-worker trackers that would try to clean up
+        # blocks the parent already unlinked.
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        except Exception:  # pragma: no cover - platform-specific
+            pass
+        self._pool = ProcessPoolExecutor(
+            max_workers=config.num_workers,
+            mp_context=context,
+            initializer=_init_process_worker,
+            initargs=(payload,),
+        )
+        # Spawn (or fork) every worker *now*, before any prefetch thread
+        # starts: forking after threads exist risks inheriting held locks.
+        warmups = [
+            self._pool.submit(_process_warmup) for _ in range(config.num_workers)
+        ]
+        for warmup in warmups:
+            if not warmup.result():
+                raise RuntimeError("process worker initialisation failed")
+
+    def submit(
+        self,
+        chunk_id: int,
+        indices: Sequence[int],
+        frames: Sequence[Frame],
+        covered: Sequence[Sequence[bool]] | None,
+        orders: Sequence[Sequence[int]],
+    ) -> tuple[Future, object]:
+        images = [frame.image for frame in frames]
+        shape = (len(images),) + images[0].shape
+        dtype = images[0].dtype
+        if any(image.shape != images[0].shape or image.dtype != dtype for image in images):
+            raise ValueError("process backend needs uniform frame shapes per chunk")
+        block = shared_memory.SharedMemory(
+            create=True, size=int(np.prod(shape)) * dtype.itemsize
+        )
+        stacked = np.ndarray(shape, dtype=dtype, buffer=block.buf)
+        for k, image in enumerate(images):
+            stacked[k] = image
+        del stacked
+        future = self._pool.submit(
+            _process_chunk_task,
+            chunk_id,
+            block.name,
+            shape,
+            dtype.name,
+            list(indices),
+            covered,
+            [list(order) for order in orders],
+        )
+        return future, block
+
+    def release(self, handle: object) -> None:
+        if handle is None:
+            return
+        block: shared_memory.SharedMemory = handle
+        try:
+            block.close()
+            block.unlink()
+        except FileNotFoundError:  # pragma: no cover - defensive
+            pass
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# The pipeline driver
+# ----------------------------------------------------------------------
+def partition_chunks(indices: Sequence[int], chunk_size: int) -> list[list[int]]:
+    """Split a scan's frame indices into submission chunks."""
+    return [
+        list(indices[start : start + chunk_size])
+        for start in range(0, len(indices), chunk_size)
+    ]
+
+
+def run_parallel_scan(
+    config: ParallelConfig,
+    stream: VideoStream,
+    union_indices: Sequence[int],
+    query_cascades: Sequence[FilterCascade],
+    assignments: Sequence[Sequence[int]],
+    member_sets: Sequence[set[int]] | None,
+    profilers: Sequence[CascadeProfiler] | None,
+    chunk_size: int,
+    merge: Callable[[int, list[Frame], ChunkOutcome], None],
+) -> tuple[tuple[CostBreakdown, ...], int]:
+    """Drive the parallel pipeline over one scan, merging strictly in order.
+
+    The submission loop keeps at most ``num_workers + prefetch_depth`` chunks
+    in flight, pulling each chunk's frames from the decode-ahead prefetcher
+    and stamping it with the step orders current at submission time; the
+    merge loop consumes results in chunk order, handing each
+    :class:`ChunkOutcome` (plus the parent-side frames, which still carry
+    ground truth for the detector) to ``merge`` and feeding the profilers —
+    so adaptive revisions are decided on the ordered stream even though
+    chunks complete out of order.  Returns the per-worker cost breakdowns
+    (sorted by worker label) and the number of chunks executed.
+    """
+    chunks = partition_chunks(union_indices, chunk_size)
+    if not chunks:
+        return (), 0
+    identity_orders = [tuple(range(len(cascade.steps))) for cascade in query_cascades]
+    # Backend first (process workers must exist before any thread starts),
+    # prefetcher second.
+    if config.backend == "process":
+        backend: _ThreadBackend | _ProcessBackend = _ProcessBackend(
+            config, query_cascades, assignments
+        )
+    else:
+        backend = _ThreadBackend(config, query_cascades, assignments)
+    prefetcher = ChunkPrefetcher(
+        stream, chunks, depth=config.prefetch_depth,
+        threads=config.effective_prefetch_threads,
+    )
+    worker_totals: dict[str, CostBreakdown] = {}
+    max_inflight = config.num_workers + config.prefetch_depth
+    inflight: dict[int, tuple[Future, list[Frame], object]] = {}
+    next_submit = 0
+    next_merge = 0
+    try:
+        while next_merge < len(chunks):
+            while (
+                next_submit < len(chunks)
+                and next_submit - next_merge < max_inflight
+            ):
+                chunk = chunks[next_submit]
+                frames = prefetcher.get(next_submit)
+                if profilers is not None:
+                    orders = [tuple(profiler.order) for profiler in profilers]
+                else:
+                    orders = identity_orders
+                if member_sets is not None:
+                    covered: Sequence[Sequence[bool]] | None = [
+                        [index in members for index in chunk]
+                        for members in member_sets
+                    ]
+                else:
+                    covered = None
+                future, handle = backend.submit(
+                    next_submit, chunk, frames, covered, orders
+                )
+                inflight[next_submit] = (future, frames, handle)
+                next_submit += 1
+            future, frames, handle = inflight.pop(next_merge)
+            try:
+                outcome = future.result()
+            finally:
+                # Must run even when the worker raised: once the entry is
+                # popped from ``inflight`` the teardown loop no longer sees
+                # it, and an unreleased handle strands a shared-memory block
+                # until interpreter exit.
+                backend.release(handle)
+            worker_totals[outcome.worker] = worker_totals.get(
+                outcome.worker, CostBreakdown()
+            ).merged_with(outcome.breakdown)
+            merge(next_merge, frames, outcome)
+            if profilers is not None:
+                at_frame = chunks[next_merge][-1]
+                for profiler, stats in zip(profilers, outcome.step_stats):
+                    profiler.observe(stats, at_frame)
+            next_merge += 1
+    finally:
+        for future, _frames, handle in inflight.values():
+            if not future.cancel():
+                try:
+                    future.result()
+                except Exception:  # pragma: no cover - teardown path
+                    pass
+            backend.release(handle)
+        prefetcher.close()
+        backend.close()
+    per_worker = tuple(
+        worker_totals[label] for label in sorted(worker_totals, key=_worker_sort_key)
+    )
+    return per_worker, len(chunks)
+
+
+def _worker_sort_key(label: str) -> tuple:
+    """Numeric-aware ordering for worker labels (``thread-10`` after ``thread-2``)."""
+    prefix, _, suffix = label.rpartition("-")
+    if suffix.isdigit():
+        return (prefix, int(suffix))
+    return (label, -1)

@@ -255,6 +255,96 @@ def order_cascade_by_selectivity(
 
 
 # ----------------------------------------------------------------------
+# Runtime re-planning (adaptive execution)
+# ----------------------------------------------------------------------
+def replan_order(
+    latencies_ms: Sequence[float], pass_rates: Sequence[float | None]
+) -> tuple[int, ...]:
+    """Step order (as positions) by observed cost per rejection, ascending.
+
+    ``pass_rates[i]`` is the observed fraction of evaluated frames step ``i``
+    let through (``None`` when the step has not been observed — e.g. an
+    earlier step rejected every frame before it ran), in which case the step
+    keeps a ``cost_per_rejection`` of ``inf`` and sorts to the back.  The
+    sort is stable, so ties preserve the current relative order and replanning
+    with unchanged rates is a no-op.
+    """
+    if len(latencies_ms) != len(pass_rates):
+        raise ValueError(
+            f"{len(latencies_ms)} latencies but {len(pass_rates)} pass rates"
+        )
+
+    def cost_per_rejection(position: int) -> float:
+        rate = pass_rates[position]
+        if rate is None:
+            return math.inf
+        rejection = 1.0 - rate
+        if rejection <= 0.0:
+            return math.inf
+        return latencies_ms[position] / rejection
+
+    return tuple(
+        sorted(range(len(latencies_ms)), key=lambda p: (cost_per_rejection(p), p))
+    )
+
+
+def expected_cascade_cost_ms(
+    latencies_ms: Sequence[float],
+    pass_rates: Sequence[float | None],
+    order: Sequence[int],
+) -> float:
+    """Expected per-frame filter cost of running the steps in ``order``.
+
+    Uses the classic independence approximation: a step's observed pass rate
+    is treated as its unconditional selectivity, so the fraction of frames
+    reaching step ``k`` is the product of the earlier steps' rates.
+    Unobserved steps (rate ``None``) are assumed to pass everything — the
+    conservative choice, since assuming selectivity for a step that never ran
+    would justify reorderings on no evidence.
+    """
+    surviving = 1.0
+    total = 0.0
+    for position in order:
+        total += latencies_ms[position] * surviving
+        rate = pass_rates[position]
+        surviving *= 1.0 if rate is None else rate
+    return total
+
+
+def replan_cascade(
+    cascade: FilterCascade, pass_rates: Sequence[float | None]
+) -> FilterCascade:
+    """Reorder ``cascade`` by *observed* cost per rejection.
+
+    The runtime counterpart of :func:`order_cascade_by_selectivity`: instead
+    of a planning-time sample prefix, ``pass_rates`` come from a live
+    profiler watching the execution (see
+    :class:`~repro.query.parallel.CascadeProfiler`).  Steps are annotated
+    with the observed rates; because cascade steps are conjunctive, the
+    reordered cascade passes exactly the same frames.
+    """
+    if len(pass_rates) != len(cascade.steps):
+        raise ValueError(
+            f"cascade has {len(cascade.steps)} steps but {len(pass_rates)} rates given"
+        )
+    order = replan_order(
+        [step.frame_filter.latency_ms for step in cascade.steps], pass_rates
+    )
+    steps = []
+    for position in order:
+        step = cascade.steps[position]
+        rate = pass_rates[position]
+        if rate is not None:
+            step = replace(
+                step,
+                measured_pass_rate=rate,
+                measured_cost_ms=step.frame_filter.latency_ms,
+            )
+        steps.append(step)
+    return FilterCascade(steps=steps)
+
+
+# ----------------------------------------------------------------------
 # Cross-query cascade merging
 # ----------------------------------------------------------------------
 def _normalized(predicates: Sequence) -> tuple:
@@ -287,6 +377,17 @@ def merge_cascade_steps(
     which case evaluating either decides both, which is what lets
     multi-query execution run a shared check once per frame no matter how
     many queries' cascades contain it.
+
+    The merged list is sorted by ``(cost, signature)`` — the filter's
+    per-frame latency, then the step's name and printed signature — rather
+    than left in dict-insertion order.  Insertion order depends on which
+    query happened to come first in the call, so two runs submitting the same
+    queries in different order (or a hash-seed change affecting upstream set
+    iteration) would previously produce differently-numbered plans;
+    the sorted order is a pure function of the step set, making
+    ``execute_many`` plans reproducible across Python runs.  Ties (including
+    unsigned hand-built steps, which have no printable signature) keep their
+    first-appearance order.
     """
     unique_steps: list[CascadeStep] = []
     index_of: dict[tuple, int] = {}
@@ -300,6 +401,16 @@ def merge_cascade_steps(
                 unique_steps.append(step)
             positions.append(index_of[key])
         assignments.append(positions)
+
+    def sort_key(position: int) -> tuple:
+        step = unique_steps[position]
+        signature_text = repr(step.signature) if step.signature is not None else ""
+        return (step.frame_filter.latency_ms, step.name, signature_text, position)
+
+    order = sorted(range(len(unique_steps)), key=sort_key)
+    remap = {old: new for new, old in enumerate(order)}
+    unique_steps = [unique_steps[old] for old in order]
+    assignments = [[remap[position] for position in row] for row in assignments]
     return unique_steps, assignments
 
 
@@ -364,6 +475,44 @@ def _region_possible(
     return _comparison_possible(predicate.operator, blob_count, predicate.value, tolerance)
 
 
+@dataclass(frozen=True)
+class CountCheck:
+    """Planned count check: every count predicate may hold within the tolerance.
+
+    A plain dataclass rather than a closure so planned cascades are
+    *picklable* — the process-backend parallel engine ships the whole cascade
+    (filters, steps, checks) to its workers once, which a lambda capture
+    would make impossible.
+    """
+
+    predicates: tuple[CountPredicate, ...]
+    tolerance: int
+
+    def __call__(self, prediction: FilterPrediction) -> bool:
+        return all(
+            _count_possible(predicate, prediction, self.tolerance)
+            for predicate in self.predicates
+        )
+
+
+@dataclass(frozen=True)
+class LocationCheck:
+    """Planned location check over spatial and region predicates (picklable, see :class:`CountCheck`)."""
+
+    spatial: tuple[SpatialPredicate, ...]
+    regions: tuple[RegionPredicate, ...]
+    dilation: int
+
+    def __call__(self, prediction: FilterPrediction) -> bool:
+        return all(
+            _spatial_possible(predicate, prediction, self.dilation)
+            for predicate in self.spatial
+        ) and all(
+            _region_possible(predicate, prediction, self.dilation)
+            for predicate in self.regions
+        )
+
+
 class QueryPlanner:
     """Plans a :class:`FilterCascade` for a query from the available filters."""
 
@@ -377,6 +526,23 @@ class QueryPlanner:
             raise ValueError("the planner needs at least one trained filter")
         self.filters = dict(filters)
         self.config = config or PlannerConfig()
+
+    @staticmethod
+    def replan(
+        cascade: FilterCascade, pass_rates: Sequence[float | None]
+    ) -> FilterCascade:
+        """Reorder a cascade mid-stream from *observed* pass rates.
+
+        The adaptive execution layer's entry point: a runtime profiler (see
+        :class:`~repro.query.parallel.CascadeProfiler`) watches each step's
+        live pass rate over a sliding window and, when the observed cost per
+        rejection diverges from the order the cascade was planned with, feeds
+        the rates here to obtain the corrected order.  Reordering conjunctive
+        steps never changes which frames survive — only where the filter
+        milliseconds go.  A static method: replanning needs no filter
+        registry, only the cascade and the evidence.
+        """
+        return replan_cascade(cascade, pass_rates)
 
     def _primary_filter(self) -> FrameFilter:
         preferred = self.config.family
@@ -416,9 +582,7 @@ class QueryPlanner:
                     CascadeStep(
                         name=f"{family_label}-CCF{suffix}",
                         frame_filter=primary,
-                        check=lambda prediction, preds=per_class_preds, tol=tolerance: all(
-                            _count_possible(p, prediction, tol) for p in preds
-                        ),
+                        check=CountCheck(predicates=per_class_preds, tolerance=tolerance),
                         signature=("count", tolerance, per_class_preds),
                     )
                 )
@@ -430,9 +594,7 @@ class QueryPlanner:
                     CascadeStep(
                         name=f"{label}{suffix}",
                         frame_filter=count_filter,
-                        check=lambda prediction, preds=total_preds, tol=tolerance: all(
-                            _count_possible(p, prediction, tol) for p in preds
-                        ),
+                        check=CountCheck(predicates=total_preds, tolerance=tolerance),
                         signature=("count", tolerance, total_preds),
                     )
                 )
@@ -446,10 +608,7 @@ class QueryPlanner:
                 CascadeStep(
                     name=f"{family_label}-CLF{suffix}",
                     frame_filter=primary,
-                    check=lambda prediction, sp=spatial, rg=regions, dil=dilation: all(
-                        _spatial_possible(p, prediction, dil) for p in sp
-                    )
-                    and all(_region_possible(p, prediction, dil) for p in rg),
+                    check=LocationCheck(spatial=spatial, regions=regions, dilation=dilation),
                     signature=("location", dilation, spatial, regions),
                 )
             )

@@ -9,6 +9,7 @@ Section IV of the paper.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from functools import cached_property
@@ -64,6 +65,11 @@ class VideoStream:
         self._name = name
         self._frame_cache_size = frame_cache_size
         self._frame_cache: OrderedDict[int, Frame] = OrderedDict()
+        # The parallel execution engine renders ahead from prefetch threads,
+        # so cache lookup / insert / evict must be atomic.  Rendering itself
+        # happens outside the lock (it dominates the cost and is
+        # deterministic per index, so a rare duplicate render is benign).
+        self._frame_cache_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -118,27 +124,46 @@ class VideoStream:
         windowed, multi-query and temporal execution paths routinely do —
         returns the cached :class:`Frame` instead of re-rendering.  The cache
         is a small LRU (``frame_cache_size`` entries, least recently
-        *accessed* evicted first).  Returned frames are shared objects:
-        callers must treat ``image`` as read-only, which every consumer in
-        this codebase already does (filters copy via ``astype``).
+        *accessed* evicted first) and is thread-safe: lookup, insert and
+        eviction happen under a lock, so the parallel engine's decode-ahead
+        prefetcher may call :meth:`frame` from several threads.  Two threads
+        racing on the same uncached index may both render it (rendering runs
+        outside the lock); the frames are identical and one wins the cache
+        slot.  ``frame_cache_size=0`` bypasses the cache and the lock
+        entirely — process-backend parallel workers use this so each worker
+        does not duplicate the cache's memory.  Returned frames are shared
+        objects: callers must treat ``image`` as read-only, which every
+        consumer in this codebase already does (filters copy via ``astype``).
         """
-        cached = self._frame_cache.get(index)
-        if cached is not None:
-            self._frame_cache.move_to_end(index)
-            return cached
+        if self._frame_cache_size == 0:
+            return self._render_frame(index)
+        with self._frame_cache_lock:
+            cached = self._frame_cache.get(index)
+            if cached is not None:
+                self._frame_cache.move_to_end(index)
+                return cached
+        frame = self._render_frame(index)
+        with self._frame_cache_lock:
+            existing = self._frame_cache.get(index)
+            if existing is not None:
+                # Lost a render race: keep the first frame so repeated
+                # lookups stay identity-stable.
+                self._frame_cache.move_to_end(index)
+                return existing
+            self._frame_cache[index] = frame
+            while len(self._frame_cache) > self._frame_cache_size:
+                self._frame_cache.popitem(last=False)
+        return frame
+
+    def _render_frame(self, index: int) -> Frame:
         ground_truth = self._scene.ground_truth(index)
         image = self._renderer.render(ground_truth)
-        frame = Frame(
+        return Frame(
             index=index,
             image=image,
             ground_truth=ground_truth,
             camera_id=self._camera_id,
         )
-        if self._frame_cache_size > 0:
-            self._frame_cache[index] = frame
-            while len(self._frame_cache) > self._frame_cache_size:
-                self._frame_cache.popitem(last=False)
-        return frame
 
     def ground_truth(self, index: int) -> FrameGroundTruth:
         """Ground truth without rendering (used for labels and evaluation)."""
