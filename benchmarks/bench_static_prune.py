@@ -1,0 +1,153 @@
+"""Static-analysis benchmark: dead-step pruning + provably-empty short circuit.
+
+Two claims of the analyzer layer are pinned here:
+
+1. **Dead-step pruning.**  At the default ``count_tolerance=1`` a
+   ``COUNT(car) >= 1`` CCF step can never reject a frame, so the analyzer
+   drops it at plan time.  Executing the optimized plan must match the raw
+   ``analyze=False`` plan frame for frame while spending measurably less
+   simulated filter cost (the OD filter never runs).
+
+2. **Provably-empty short circuit.**  A contradictory query
+   (``COUNT(car) >= 3 AND COUNT(car) <= 1``) plans to an empty-scan cascade
+   that renders ZERO frames — counted by wrapping ``stream.frame`` — and
+   invokes neither filters nor the detector, where the same query without
+   analysis would pay a full scan.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import bench_wall_seconds, print_rows, write_bench_json
+from repro.detection import ReferenceDetector
+from repro.query import (
+    PlannerConfig,
+    QueryBuilder,
+    QueryPlanner,
+    StreamingQueryExecutor,
+)
+
+
+def _executor(class_names) -> StreamingQueryExecutor:
+    return StreamingQueryExecutor(ReferenceDetector(class_names=class_names, seed=900))
+
+
+def _count_renders(stream):
+    """Wrap ``stream.frame`` to count decodes; returns (counts, restore)."""
+    rendered = []
+    original = stream.frame
+
+    def counting_frame(index):
+        rendered.append(index)
+        return original(index)
+
+    stream.frame = counting_frame
+
+    def restore():
+        del stream.frame
+
+    return rendered, restore
+
+
+def run(config) -> dict[str, object]:
+    from repro.experiments.context import get_context
+
+    context = get_context("jackson", config)
+    stream = context.dataset.test
+    class_names = context.dataset.class_names
+    planner = QueryPlanner(
+        context.filters, PlannerConfig(count_tolerance=1, location_dilation=1)
+    )
+
+    # --- dead-step pruning ------------------------------------------------
+    live = (
+        QueryBuilder("prunable")
+        .count("car").at_least(1)   # dead at tolerance 1: predicted >= 0
+        .total_count().at_most(4)   # live: AT_MOST always can reject
+        .build()
+    )
+    raw_plan = planner.plan(live, analyze=False)
+    pruned_plan = planner.plan(live)
+
+    raw = _executor(class_names).execute(live, stream, raw_plan, batch_size=16)
+    pruned = _executor(class_names).execute(live, stream, pruned_plan, batch_size=16)
+
+    # --- provably-empty short circuit ------------------------------------
+    impossible = (
+        QueryBuilder("impossible")
+        .count("car").at_least(3)
+        .count("car").at_most(1)
+        .build()
+    )
+    empty_plan = planner.plan(impossible)
+    rendered, restore = _count_renders(stream)
+    try:
+        empty = _executor(class_names).execute(impossible, stream, empty_plan)
+    finally:
+        restore()
+
+    return {
+        "frames": len(stream),
+        "raw_steps": len(raw_plan),
+        "pruned_steps": len(pruned_plan),
+        "parity": pruned.matched_frames == raw.matched_frames,
+        "matches": pruned.num_matches,
+        "raw_filter_invocations": raw.stats.filter_invocations,
+        "pruned_filter_invocations": pruned.stats.filter_invocations,
+        "raw_s": round(raw.stats.simulated_seconds, 3),
+        "pruned_s": round(pruned.stats.simulated_seconds, 3),
+        "prune_speedup": round(
+            raw.stats.simulated_cost.total_ms / pruned.stats.simulated_cost.total_ms, 3
+        ),
+        "empty_provable": empty_plan.provably_empty,
+        "empty_codes": sorted({d.code for d in empty_plan.diagnostics}),
+        "empty_frames_rendered": len(rendered),
+        "empty_frames_scanned": empty.stats.frames_scanned,
+        "empty_detector_invocations": empty.stats.detector_invocations,
+        "empty_wall_s": round(empty.stats.wall_clock_seconds, 6),
+    }
+
+
+def format_rows(result: dict[str, object]) -> str:
+    lines = [
+        f"{result['frames']} frames, {result['matches']} matches "
+        f"(parity: {result['parity']})",
+        f"pruning: {result['raw_steps']} -> {result['pruned_steps']} steps, "
+        f"{result['raw_filter_invocations']} -> {result['pruned_filter_invocations']} "
+        f"filter invocations, simulated {result['raw_s']}s -> {result['pruned_s']}s "
+        f"({result['prune_speedup']}x)",
+        f"provably empty ({', '.join(result['empty_codes'])}): "
+        f"{result['empty_frames_rendered']} frames rendered, "
+        f"{result['empty_frames_scanned']} scanned, "
+        f"{result['empty_detector_invocations']} detector calls",
+    ]
+    return "\n".join(lines)
+
+
+def test_static_prune(benchmark, bench_config, pytestconfig):
+    result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    print_rows("Static analysis: dead-step pruning + empty short circuit", format_rows(result))
+    write_bench_json(
+        pytestconfig,
+        "static_prune",
+        params={
+            "frames": result["frames"],
+            "raw_steps": result["raw_steps"],
+            "pruned_steps": result["pruned_steps"],
+            "empty_frames_rendered": result["empty_frames_rendered"],
+        },
+        wall_seconds=bench_wall_seconds(benchmark),
+        simulated_seconds=result["pruned_s"],
+        speedup=result["prune_speedup"],
+    )
+    # Pruning removed a step and is invisible in the results.
+    assert result["pruned_steps"] < result["raw_steps"]
+    assert result["parity"]
+    assert result["pruned_filter_invocations"] < result["raw_filter_invocations"]
+    # The dead step's filter cost is real savings.
+    assert result["prune_speedup"] > 1.0
+    # The contradictory query never touches a frame.
+    assert result["empty_provable"]
+    assert result["empty_frames_rendered"] == 0
+    assert result["empty_frames_scanned"] == 0
+    assert result["empty_detector_invocations"] == 0
+    assert "QA001" in result["empty_codes"] and "PL003" in result["empty_codes"]

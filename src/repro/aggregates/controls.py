@@ -8,9 +8,8 @@ same filter output serves both query filtering and aggregate estimation.
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable
 
-import numpy as np
 from scipy import ndimage
 
 from repro.filters.base import FilterPrediction

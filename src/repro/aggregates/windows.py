@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Iterator
 
@@ -51,6 +52,12 @@ class HoppingWindow:
         passes ``include_partial=True`` (the executor's
         ``include_partial_windows`` default), which appends one final,
         shorter window over the remaining frames.
+
+        Dropping a non-empty tail is silent data loss from the caller's point
+        of view, so it is surfaced as a
+        :class:`~repro.analysis.WindowTailDropWarning` (the runtime
+        counterpart of the static QA006 diagnostic) — callers that chose the
+        fixed-size semantics deliberately can filter the category out.
         """
         if num_frames <= 0:
             return
@@ -60,6 +67,20 @@ class HoppingWindow:
             if stop - start == self.size or (include_partial and stop > start):
                 yield WindowBounds(start=start, stop=stop)
             if stop - start < self.size:
+                if not include_partial and stop > start:
+                    # Local import: repro.analysis depends on repro.query,
+                    # whose executor imports this module — a module-level
+                    # import would cycle during package initialisation.
+                    from repro.analysis import WindowTailDropWarning
+
+                    warnings.warn(
+                        f"window of size {self.size} drops the trailing "
+                        f"{stop - start} frame(s) [{start}, {stop}) of a "
+                        f"{num_frames}-frame stream (QA006); pass "
+                        "include_partial=True to cover them",
+                        WindowTailDropWarning,
+                        stacklevel=2,
+                    )
                 break
             start += self.advance
 

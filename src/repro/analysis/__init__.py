@@ -1,0 +1,66 @@
+"""Static analysis of queries, plans and cascades (runs before any frame).
+
+Three layers, three diagnostic families:
+
+* :func:`lint_query` — semantic checks on the AST (``QA0xx``): count
+  interval contradictions and subsumption, vocabulary and region sanity,
+  window configuration;
+* :func:`lint_plan` / :func:`optimize_cascade` — checks on the compiled
+  cascade (``PL0xx``): duplicate and dead steps, provably-empty short
+  circuit;
+* :func:`audit_cascade` — concurrency / pickle pre-flight (``CC0xx``) run
+  before the process backend spawns workers.
+
+All entry points return an :class:`AnalysisReport` of structured
+:class:`Diagnostic` records with stable codes, and accept ``strict=True`` to
+raise :class:`AnalysisError` (a ``ValueError``) on error-severity findings.
+"""
+
+from repro.analysis.concurrency import audit_cascade, audit_check
+from repro.analysis.diagnostics import (
+    DIAGNOSTIC_CODES,
+    AnalysisError,
+    AnalysisReport,
+    AnalysisWarning,
+    Diagnostic,
+    Severity,
+    Span,
+    WindowTailDropWarning,
+    diag,
+)
+from repro.analysis.intervals import (
+    CountAnalysis,
+    Interval,
+    analyze_counts,
+    combined_interval,
+    interval_of,
+    subsumed_predicates,
+)
+from repro.analysis.plan import lint_plan, optimize_cascade, short_circuit_diagnostic
+from repro.analysis.semantic import AnalysisContext, lint_query, window_diagnostics
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisError",
+    "AnalysisReport",
+    "AnalysisWarning",
+    "CountAnalysis",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "Interval",
+    "Severity",
+    "Span",
+    "WindowTailDropWarning",
+    "analyze_counts",
+    "audit_cascade",
+    "audit_check",
+    "combined_interval",
+    "diag",
+    "interval_of",
+    "lint_plan",
+    "lint_query",
+    "optimize_cascade",
+    "short_circuit_diagnostic",
+    "subsumed_predicates",
+    "window_diagnostics",
+]

@@ -1,0 +1,182 @@
+"""Concurrency / pickle pre-flight for process-backend execution (``CC0xx``).
+
+The process backend ships whole cascades — filters, steps, check callables —
+to worker processes by pickling them once per worker.  A lambda check or a
+check class defined inside a function body fails that pickling *after* the
+pool has spawned, surfacing as an opaque mid-run error; a check that carries
+mutable state pickles fine but silently forks that state per worker, so any
+mutation (a cache, a counter) diverges between workers and the sequential
+path.
+
+``audit_cascade`` catches all of this before a single worker exists:
+
+* **CC002** (error) — the check is a lambda, a closure over local state, or
+  defined at function-local scope (``<locals>`` in its qualname); such
+  callables can never be pickled by reference.
+* **CC001** (error) — the step actually fails ``pickle.dumps`` (the dynamic
+  backstop for anything the static rules miss).
+* **CC003** (warning) — the check is a non-frozen dataclass or holds mutable
+  containers; each worker gets an independent copy, so mutations do not
+  propagate.
+* **CC004** (warning) — the check's ``__call__`` assigns to ``self``
+  attributes (found with a stdlib :mod:`ast` walk over its source), i.e. it
+  *will* mutate per-worker state when invoked.
+
+Static rules run first so the diagnostics can say *why* a step is unsafe,
+not just that ``pickle`` refused it.
+"""
+
+from __future__ import annotations
+
+import ast
+import inspect
+import pickle
+import textwrap
+from dataclasses import fields, is_dataclass
+from typing import Any
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, diag
+
+_MUTABLE_TYPES = (list, dict, set, bytearray)
+
+
+def _is_local_callable(check: Any) -> str | None:
+    """A CC002 reason when the callable cannot be pickled by reference."""
+    if inspect.isfunction(check):
+        if check.__name__ == "<lambda>":
+            return "it is a lambda"
+        if check.__closure__:
+            names = getattr(check.__code__, "co_freevars", ())
+            return f"it closes over local variables {list(names)}"
+        if "<locals>" in check.__qualname__:
+            return "it is defined inside a function body"
+        return None
+    cls = type(check)
+    if "<locals>" in cls.__qualname__:
+        return f"its class {cls.__name__!r} is defined inside a function body"
+    return None
+
+
+def _mutable_state_reason(check: Any) -> str | None:
+    """A CC003 reason when the check instance carries mutable state."""
+    cls = type(check)
+    if inspect.isfunction(check):
+        return None
+    if is_dataclass(check):
+        if not cls.__dataclass_params__.frozen:
+            return f"{cls.__name__} is a non-frozen dataclass"
+        mutable = [
+            f.name
+            for f in fields(check)
+            if isinstance(getattr(check, f.name, None), _MUTABLE_TYPES)
+        ]
+        if mutable:
+            return f"{cls.__name__} holds mutable containers in {mutable}"
+        return None
+    state = getattr(check, "__dict__", None)
+    if state:
+        return f"{cls.__name__} carries instance attributes {sorted(state)}"
+    return None
+
+
+def _call_mutates_self(check: Any) -> list[str]:
+    """Names of ``self`` attributes ``__call__`` assigns to (CC004), via ast."""
+    cls = type(check)
+    call = getattr(cls, "__call__", None)
+    if call is None or inspect.isfunction(check):
+        return []
+    try:
+        source = inspect.getsource(call)
+    except (OSError, TypeError):
+        return []
+    try:
+        # dedent, not cleandoc: cleandoc strips the *body* indentation of a
+        # method relative to its ``def`` line, which never parses.
+        tree = ast.parse(textwrap.dedent(source))
+    except SyntaxError:  # pragma: no cover - unparsable decorated source
+        return []
+    assigned: list[str] = []
+    for node in ast.walk(tree):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)) and node.target:
+            targets = [node.target]
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+                and target.attr not in assigned
+            ):
+                assigned.append(target.attr)
+    return assigned
+
+
+def audit_check(check: Any, label: str) -> list[Diagnostic]:
+    """Static findings for one check callable (no pickling attempted)."""
+    diagnostics: list[Diagnostic] = []
+    local_reason = _is_local_callable(check)
+    if local_reason is not None:
+        diagnostics.append(
+            diag(
+                "CC002",
+                f"{label}: the check cannot be pickled by reference — "
+                f"{local_reason}; use a module-level frozen dataclass instead",
+            )
+        )
+    mutable_reason = _mutable_state_reason(check)
+    if mutable_reason is not None:
+        diagnostics.append(
+            diag(
+                "CC003",
+                f"{label}: {mutable_reason}; each worker gets an independent "
+                "copy, so mutations will not be shared",
+            )
+        )
+    mutated = _call_mutates_self(check)
+    if mutated:
+        diagnostics.append(
+            diag(
+                "CC004",
+                f"{label}: __call__ assigns to self.{mutated[0]} — per-worker "
+                "state will diverge from sequential execution",
+            )
+        )
+    return diagnostics
+
+
+def audit_cascade(cascade: Any, *, strict: bool = False) -> AnalysisReport:
+    """Pre-flight every step of ``cascade`` for process-backend shipping.
+
+    Static rules first (CC002/CC003/CC004 with actionable reasons), then the
+    dynamic ``pickle.dumps`` backstop (CC001) on each step whose check passed
+    the static reference-pickling rule — a step already flagged CC002 would
+    only produce a redundant, less readable CC001.  With ``strict=True``,
+    error findings raise :class:`~repro.analysis.diagnostics.AnalysisError`
+    (a :class:`ValueError`) before any worker is spawned.
+    """
+    diagnostics: list[Diagnostic] = []
+    for position, step in enumerate(cascade.steps):
+        label = f"step {position} ({step.name})"
+        step_diagnostics = audit_check(step.check, label)
+        diagnostics.extend(step_diagnostics)
+        if any(d.code == "CC002" for d in step_diagnostics):
+            continue
+        try:
+            pickle.dumps(step)
+        except Exception as error:
+            diagnostics.append(
+                diag(
+                    "CC001",
+                    f"{label} failed the pickle pre-flight: "
+                    f"{type(error).__name__}: {error}",
+                )
+            )
+    report = AnalysisReport(diagnostics=tuple(diagnostics))
+    if strict:
+        report.raise_for_errors(context="concurrency pre-flight")
+    return report
+
+
+__all__ = ["audit_cascade", "audit_check"]

@@ -1,0 +1,152 @@
+"""Interval analysis over count predicates.
+
+A conjunction of count predicates on the same target (one class, or the
+total) constrains the true count to an integer interval: ``COUNT(car) >= 2``
+means ``[2, inf)``, ``COUNT(car) < 5`` means ``[0, 4]``, and their
+conjunction ``[2, 4]``.  The analyzer intersects every predicate's interval
+per target and reads three facts straight off the result:
+
+* **emptiness** — ``lo > hi`` means no frame can satisfy the conjunction
+  (``COUNT(car) > 5 AND COUNT(car) < 3``), the query is provably empty;
+* **subsumption** — a predicate whose removal leaves the target's interval
+  unchanged adds no information (``COUNT(car) >= 1`` next to
+  ``COUNT(car) >= 3``);
+* **zero-forcing** — ``hi == 0`` means the class cannot appear at all, which
+  contradicts any other predicate that needs at least one such object.
+
+A cross-target check ties the per-class intervals to the total: every frame
+has ``total >= sum(per-class counts)``, so if the per-class lower bounds add
+up to more than the total's upper bound, the query is empty even though each
+individual interval is fine (``COUNT(car) >= 3 AND COUNT(*) <= 2``).
+
+Counts are non-negative, so every interval lives in ``[0, inf)``; ``hi`` of
+``None`` encodes the unbounded upper end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.query.ast import ComparisonOperator, CountPredicate
+
+
+@dataclass(frozen=True)
+class Interval:
+    """An integer interval ``[lo, hi]``; ``hi=None`` means unbounded above."""
+
+    lo: int = 0
+    hi: int | None = None
+
+    @property
+    def is_empty(self) -> bool:
+        return self.hi is not None and self.lo > self.hi
+
+    def intersect(self, other: "Interval") -> "Interval":
+        lo = max(self.lo, other.lo)
+        if self.hi is None:
+            hi = other.hi
+        elif other.hi is None:
+            hi = self.hi
+        else:
+            hi = min(self.hi, other.hi)
+        return Interval(lo=lo, hi=hi)
+
+    def describe(self) -> str:
+        upper = "inf" if self.hi is None else str(self.hi)
+        return f"[{self.lo}, {upper}]"
+
+
+#: The interval of counts a single predicate admits (counts are >= 0, so
+#: lower bounds clamp at zero; ``LESS 0`` / ``GREATER`` produce the strict
+#: integer neighbours).
+def interval_of(predicate: CountPredicate) -> Interval:
+    operator, value = predicate.operator, predicate.value
+    if operator is ComparisonOperator.EQUAL:
+        return Interval(lo=value, hi=value)
+    if operator is ComparisonOperator.AT_LEAST:
+        return Interval(lo=value, hi=None)
+    if operator is ComparisonOperator.AT_MOST:
+        return Interval(lo=0, hi=value)
+    if operator is ComparisonOperator.GREATER:
+        return Interval(lo=value + 1, hi=None)
+    if operator is ComparisonOperator.LESS:
+        return Interval(lo=0, hi=value - 1)
+    raise ValueError(f"unknown operator {operator}")  # pragma: no cover
+
+
+def combined_interval(predicates: list[CountPredicate]) -> Interval:
+    """Intersection of every predicate's interval (full ``[0, inf)`` if none)."""
+    result = Interval()
+    for predicate in predicates:
+        result = result.intersect(interval_of(predicate))
+    return result
+
+
+@dataclass(frozen=True)
+class CountAnalysis:
+    """Per-target count intervals of a query's count-predicate conjunction.
+
+    ``by_target`` maps the count target (a class name, or ``None`` for the
+    total) to the intersected interval of every count predicate on it.
+    ``cross_empty`` flags the sum-of-lower-bounds-vs-total contradiction,
+    which no single target's interval shows.
+    """
+
+    by_target: dict[str | None, Interval]
+    cross_empty: bool
+
+    def interval_for(self, target: str | None) -> Interval:
+        """The target's interval; unconstrained targets get full ``[0, inf)``."""
+        return self.by_target.get(target, Interval())
+
+    @property
+    def empty_targets(self) -> list[str | None]:
+        return [t for t, interval in self.by_target.items() if interval.is_empty]
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the count conjunction alone proves the query matches nothing."""
+        return self.cross_empty or bool(self.empty_targets)
+
+
+def analyze_counts(predicates: list[CountPredicate]) -> CountAnalysis:
+    """Intersect the predicates' intervals per target and run the cross check."""
+    by_target: dict[str | None, Interval] = {}
+    for predicate in predicates:
+        current = by_target.get(predicate.class_name, Interval())
+        by_target[predicate.class_name] = current.intersect(interval_of(predicate))
+
+    total = by_target.get(None, Interval())
+    class_lo_sum = sum(
+        interval.lo for target, interval in by_target.items() if target is not None
+    )
+    cross_empty = total.hi is not None and class_lo_sum > total.hi
+    return CountAnalysis(by_target=by_target, cross_empty=cross_empty)
+
+
+def subsumed_predicates(predicates: list[CountPredicate]) -> list[CountPredicate]:
+    """Count predicates whose removal leaves every target's interval unchanged.
+
+    Checked one at a time against the rest (not jointly): of two mutually
+    redundant predicates (``COUNT(car) >= 2`` twice), each is individually
+    subsumed by the other, and the caller reports both — dropping *all*
+    reported predicates at once is not sound, dropping any one of them is.
+    """
+    redundant: list[CountPredicate] = []
+    for index, predicate in enumerate(predicates):
+        peers = [p for i, p in enumerate(predicates) if i != index and p.class_name == predicate.class_name]
+        with_p = combined_interval(peers + [predicate])
+        without_p = combined_interval(peers)
+        if with_p == without_p and not with_p.is_empty:
+            redundant.append(predicate)
+    return redundant
+
+
+__all__ = [
+    "CountAnalysis",
+    "Interval",
+    "analyze_counts",
+    "combined_interval",
+    "interval_of",
+    "subsumed_predicates",
+]

@@ -1,0 +1,144 @@
+"""Plan-level checks over a compiled filter cascade (the ``PL0xx`` diagnostics).
+
+The planner compiles a query into a :class:`FilterCascade` of conjunctive
+steps; these checks inspect the *compiled* artefact, where two kinds of
+waste show up that the AST never exposes:
+
+* **duplicate steps** (PL001) — two steps with the same semantic key (name,
+  filter identity, signature) decide the same thing; the second adds a check
+  invocation per surviving frame for no information;
+* **dead steps** (PL002) — a count check whose tolerance swallows all of its
+  predicates' demands passes *every* possible prediction (counts are
+  non-negative, so ``COUNT(car) >= 1`` at tolerance 1 can never reject), so
+  the filter is evaluated for nothing.
+
+``optimize_cascade`` removes both, with two safety rails: elimination never
+empties a cascade that had live steps (``primary_filter`` consumers such as
+aggregate estimation need at least one filter to anchor on), and only
+planner-built steps (those carrying a ``signature``) are ever considered —
+hand-built lambda steps are opaque and always kept.  Because cascade steps
+are conjunctive and a removed step either repeats a kept one or passes
+everything, the optimized cascade passes exactly the same frames.
+
+This module deliberately avoids a module-level import of
+:mod:`repro.query.planner` (which imports :mod:`repro.analysis` in turn);
+step internals are reached by duck-typing and a function-local import.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Any
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, diag
+from repro.query.ast import ComparisonOperator
+
+
+def _step_key(step: Any) -> tuple | None:
+    """The semantic identity of a planner-built step (``None`` if hand-built)."""
+    signature = getattr(step, "signature", None)
+    if signature is None:
+        return None
+    return (step.name, step.frame_filter.identity, signature)
+
+
+def _predicate_is_trivial(predicate: Any, tolerance: int) -> bool:
+    """Whether the tolerant check of this count predicate passes every count.
+
+    Mirrors ``_comparison_possible`` in the planner at ``predicted = 0`` (the
+    worst case for lower-bound operators, since predictions are
+    non-negative): ``>= value`` widens to ``predicted >= value - tolerance``,
+    trivially true when ``value <= tolerance``; ``> value`` widens to
+    ``predicted > value - tolerance``, trivially true when
+    ``value < tolerance``.  Upper-bound and equality operators always reject
+    some sufficiently large prediction, so they are never trivial.
+    """
+    operator, value = predicate.operator, predicate.value
+    if operator is ComparisonOperator.AT_LEAST:
+        return value <= tolerance
+    if operator is ComparisonOperator.GREATER:
+        return value < tolerance
+    return False
+
+
+def _step_is_dead(step: Any) -> bool:
+    """Whether the step's check passes every possible prediction."""
+    from repro.query.planner import CountCheck  # local: planner imports us
+
+    check = getattr(step, "check", None)
+    if not isinstance(check, CountCheck):
+        return False  # location checks can always reject (empty masks)
+    return all(
+        _predicate_is_trivial(predicate, check.tolerance)
+        for predicate in check.predicates
+    )
+
+
+def lint_plan(cascade: Any, *, strict: bool = False) -> AnalysisReport:
+    """Report duplicate (PL001) and dead (PL002) steps without modifying the plan."""
+    diagnostics: list[Diagnostic] = []
+    seen: set[tuple] = set()
+    for position, step in enumerate(cascade.steps):
+        key = _step_key(step)
+        if key is not None and key in seen:
+            diagnostics.append(
+                diag(
+                    "PL001",
+                    f"step {position} ({step.name}) duplicates an earlier step "
+                    "with the same filter and signature",
+                )
+            )
+        elif key is not None:
+            seen.add(key)
+        if _step_is_dead(step):
+            diagnostics.append(
+                diag(
+                    "PL002",
+                    f"step {position} ({step.name}) is trivially true: its "
+                    "count demands are within the tolerance, so it can never "
+                    "reject a frame",
+                )
+            )
+    report = AnalysisReport(diagnostics=tuple(diagnostics))
+    if strict:
+        report.raise_for_errors(context="plan analysis")
+    return report
+
+
+def optimize_cascade(cascade: Any) -> tuple[Any, AnalysisReport]:
+    """Drop duplicate and dead steps; returns ``(new_cascade, report)``.
+
+    The input cascade is not modified.  Elimination is conservative: at
+    least one step always survives a cascade that had any (dead steps are
+    kept, last-first, if removing them all would empty the cascade), so the
+    cascade's ``primary_filter`` stays defined for aggregate estimation.
+    """
+    report = lint_plan(cascade)
+    if not report.diagnostics:
+        return cascade, report
+
+    kept = []
+    seen: set[tuple] = set()
+    for step in cascade.steps:
+        key = _step_key(step)
+        if key is not None and key in seen:
+            continue
+        if key is not None:
+            seen.add(key)
+        kept.append(step)
+    live = [step for step in kept if not _step_is_dead(step)]
+    if not live and kept:
+        live = kept[:1]  # keep one anchor step rather than empty the cascade
+    return replace(cascade, steps=live), report
+
+
+def short_circuit_diagnostic(query_name: str) -> Diagnostic:
+    """The PL003 record the planner attaches when a query is provably empty."""
+    return diag(
+        "PL003",
+        f"query {query_name!r} is provably empty; the plan short-circuits to "
+        "an empty scan (no frames rendered or filtered)",
+    )
+
+
+__all__ = ["lint_plan", "optimize_cascade", "short_circuit_diagnostic"]

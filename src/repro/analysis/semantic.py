@@ -1,0 +1,356 @@
+"""Semantic analysis of a query AST (the ``QA0xx`` diagnostics).
+
+``lint_query`` runs every AST-level check the analyzer knows and returns an
+:class:`~repro.analysis.diagnostics.AnalysisReport`.  The checks only use
+facts available *before* any frame is decoded: the predicates themselves,
+optionally the stream's class vocabulary, frame geometry and length, and the
+query's window clause.  The headline result is ``provably_empty`` — set only
+from sound logical contradictions (interval emptiness, impossible region
+demands, zero-forced classes), never from vocabulary mismatches, so a stale
+class list can produce an error diagnostic but never silently discard
+frames.
+
+Context arguments are all optional: with none given, only the pure
+predicate-logic checks run; passing ``class_names`` enables QA003,
+``frame_width``/``frame_height`` enable QA007, ``num_frames`` enables the
+window checks QA005/QA006.  :class:`AnalysisContext` bundles them so callers
+deep in the engine (planner, executor) can thread one object through.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.diagnostics import AnalysisReport, Diagnostic, Span, diag
+from repro.analysis.intervals import analyze_counts, subsumed_predicates
+from repro.query.ast import (
+    ColorPredicate,
+    ComparisonOperator,
+    CountPredicate,
+    Query,
+    RegionPredicate,
+    SpatialPredicate,
+    WindowSpec,
+)
+from repro.spatial.geometry import Box
+from repro.video.objects import NAMED_COLORS
+
+
+@dataclass(frozen=True)
+class AnalysisContext:
+    """Stream facts the semantic checks may use (all optional).
+
+    ``class_names`` is the detector vocabulary (enables unknown-class
+    checks); ``frame_width``/``frame_height`` the frame geometry (region
+    containment); ``num_frames`` the stream length (window sanity).
+    """
+
+    class_names: tuple[str, ...] | None = None
+    frame_width: float | None = None
+    frame_height: float | None = None
+    num_frames: int | None = None
+
+    @classmethod
+    def for_stream(cls, stream) -> "AnalysisContext":
+        """Context extracted from a video stream (duck-typed, best effort)."""
+        scene = getattr(stream, "scene", None)
+        config = getattr(scene, "config", None)
+        class_names = getattr(stream, "class_names", None)
+        if not class_names:
+            # VideoStream carries no vocabulary of its own; the scene's class
+            # mix lists every class that can ever appear in its frames.
+            mix = getattr(config, "class_mix", None) or ()
+            class_names = [
+                entry.class_name for entry in mix if getattr(entry, "class_name", None)
+            ]
+        return cls(
+            class_names=tuple(class_names) if class_names else None,
+            frame_width=getattr(config, "frame_width", None),
+            frame_height=getattr(config, "frame_height", None),
+            num_frames=len(stream) if hasattr(stream, "__len__") else None,
+        )
+
+
+def _span(node) -> Span | None:
+    return getattr(node, "span", None)
+
+
+def _required_count(operator: ComparisonOperator, value: int) -> int:
+    """The minimum object count a predicate *demands* (0 if satisfiable empty)."""
+    if operator in (ComparisonOperator.EQUAL, ComparisonOperator.AT_LEAST):
+        return value
+    if operator is ComparisonOperator.GREATER:
+        return value + 1
+    return 0  # AT_MOST / LESS hold vacuously at count zero
+
+
+def _check_counts(query: Query, diagnostics: list[Diagnostic]) -> bool:
+    """QA001 (contradiction) and QA002 (subsumption); returns emptiness."""
+    counts = query.count_predicates
+    analysis = analyze_counts(counts)
+    for target in analysis.empty_targets:
+        label = target or "objects"
+        interval = analysis.by_target[target]
+        offenders = [p for p in counts if p.class_name == target]
+        diagnostics.append(
+            diag(
+                "QA001",
+                f"count constraints on {label!r} are contradictory "
+                f"(empty interval {interval.describe()}): "
+                + " AND ".join(p.describe() for p in offenders),
+                span=_span(offenders[0]) if offenders else None,
+            )
+        )
+    if analysis.cross_empty:
+        total_hi = analysis.interval_for(None).hi
+        lower_sum = sum(
+            interval.lo
+            for target, interval in analysis.by_target.items()
+            if target is not None
+        )
+        diagnostics.append(
+            diag(
+                "QA001",
+                f"per-class lower bounds sum to {lower_sum} but the total "
+                f"count is capped at {total_hi}",
+                span=_span(next((p for p in counts if p.class_name is None), None)),
+            )
+        )
+    if not analysis.is_empty:
+        for predicate in subsumed_predicates(counts):
+            diagnostics.append(
+                diag(
+                    "QA002",
+                    f"{predicate.describe()} is implied by the other count "
+                    "constraints and can be dropped",
+                    span=_span(predicate),
+                )
+            )
+    return analysis.is_empty
+
+
+def _check_vocabulary(
+    query: Query, context: AnalysisContext, diagnostics: list[Diagnostic]
+) -> None:
+    """QA003 (unknown class) and QA004 (unknown color)."""
+    if context.class_names is not None:
+        known = set(context.class_names)
+        for class_name in query.referenced_classes:
+            if class_name not in known:
+                offender = next(
+                    (
+                        p
+                        for p in query.predicates
+                        if class_name in _predicate_classes(p)
+                    ),
+                    None,
+                )
+                diagnostics.append(
+                    diag(
+                        "QA003",
+                        f"class {class_name!r} is not in the stream vocabulary "
+                        f"{sorted(known)}",
+                        span=_span(offender),
+                    )
+                )
+    for predicate in query.color_predicates:
+        if predicate.color not in NAMED_COLORS:
+            diagnostics.append(
+                diag(
+                    "QA004",
+                    f"color {predicate.color!r} is not a known color name "
+                    f"(known: {sorted(NAMED_COLORS)})",
+                    span=_span(predicate),
+                )
+            )
+
+
+def _predicate_classes(predicate) -> tuple[str, ...]:
+    if isinstance(predicate, CountPredicate):
+        return (predicate.class_name,) if predicate.class_name else ()
+    if isinstance(predicate, SpatialPredicate):
+        return (predicate.subject_class, predicate.reference_class)
+    if isinstance(predicate, (RegionPredicate, ColorPredicate)):
+        return (predicate.class_name,)
+    return ()
+
+
+def window_diagnostics(
+    window: WindowSpec | None, num_frames: int | None
+) -> list[Diagnostic]:
+    """QA005 / QA006 for a window clause (also used by the window machinery).
+
+    QA006 fires in two situations: the hop leaves an inter-window gap
+    (``advance > size``, detectable with no stream length at all), or the
+    stream length is known and the final full window stops short of the last
+    frame, silently dropping the tail remainder.
+    """
+    if window is None:
+        return []
+    diagnostics: list[Diagnostic] = []
+    if num_frames is not None and window.size > num_frames:
+        diagnostics.append(
+            diag(
+                "QA005",
+                f"window size {window.size} exceeds the stream length "
+                f"{num_frames}; no full window ever completes",
+            )
+        )
+    if window.advance > window.size:
+        diagnostics.append(
+            diag(
+                "QA006",
+                f"advance {window.advance} > size {window.size} leaves "
+                f"{window.advance - window.size} frames between consecutive "
+                "windows unobserved",
+            )
+        )
+    elif num_frames is not None and window.size <= num_frames:
+        num_full = (num_frames - window.size) // window.advance + 1
+        covered_end = (num_full - 1) * window.advance + window.size
+        if covered_end < num_frames:
+            diagnostics.append(
+                diag(
+                    "QA006",
+                    f"the final {num_frames - covered_end} frames never fill a "
+                    f"window of size {window.size} advancing by {window.advance} "
+                    "and are dropped",
+                )
+            )
+    return diagnostics
+
+
+def _check_regions(
+    query: Query, context: AnalysisContext, diagnostics: list[Diagnostic]
+) -> bool:
+    """QA007 (region outside frame) and QA008 (demand exceeds count cap)."""
+    empty = False
+    analysis = analyze_counts(query.count_predicates)
+    for predicate in query.region_predicates:
+        required = _required_count(predicate.operator, predicate.value)
+        if (
+            context.frame_width is not None
+            and context.frame_height is not None
+        ):
+            frame_box = Box(0, 0, context.frame_width, context.frame_height)
+            if frame_box.intersection(predicate.region.box) is None:
+                diagnostics.append(
+                    diag(
+                        "QA007",
+                        f"region {predicate.region.name!r} "
+                        f"{predicate.region.box} lies entirely outside the "
+                        f"{context.frame_width}x{context.frame_height} frame",
+                        span=_span(predicate),
+                    )
+                )
+                if predicate.inside and required > 0:
+                    empty = True
+                continue
+        class_hi = analysis.interval_for(predicate.class_name).hi
+        total_hi = analysis.interval_for(None).hi
+        cap = class_hi if class_hi is not None else total_hi
+        if predicate.inside and cap is not None and required > cap:
+            diagnostics.append(
+                diag(
+                    "QA008",
+                    f"{predicate.describe()} needs at least {required} "
+                    f"{predicate.class_name}(s) but the count constraints cap "
+                    f"them at {cap}",
+                    span=_span(predicate),
+                )
+            )
+            empty = True
+    return empty
+
+
+def _check_zero_forced(query: Query, diagnostics: list[Diagnostic]) -> bool:
+    """QA009: a predicate needs an object of a class the counts force to zero."""
+    analysis = analyze_counts(query.count_predicates)
+    if analysis.is_empty:
+        return False  # QA001 already covers it; avoid cascading noise
+    zero_forced = {
+        target
+        for target, interval in analysis.by_target.items()
+        if target is not None and interval.hi == 0
+    }
+    if analysis.interval_for(None).hi == 0:
+        zero_forced.add(None)
+    if not zero_forced:
+        return False
+    empty = False
+    for predicate in query.predicates:
+        if isinstance(predicate, CountPredicate):
+            continue
+        needy: tuple[str, ...]
+        if isinstance(predicate, SpatialPredicate):
+            needy = (predicate.subject_class, predicate.reference_class)
+        elif isinstance(predicate, RegionPredicate):
+            required = _required_count(predicate.operator, predicate.value)
+            needy = (predicate.class_name,) if predicate.inside and required > 0 else ()
+        elif isinstance(predicate, ColorPredicate):
+            needy = (predicate.class_name,)
+        else:  # pragma: no cover - unknown predicate kinds are skipped
+            needy = ()
+        hit = [c for c in needy if c in zero_forced or None in zero_forced]
+        if hit:
+            blocked = hit[0] if hit[0] in zero_forced else "any object"
+            diagnostics.append(
+                diag(
+                    "QA009",
+                    f"{predicate.describe()} needs a {hit[0]} but the count "
+                    f"constraints force {blocked!r} to zero",
+                    span=_span(predicate),
+                )
+            )
+            empty = True
+    return empty
+
+
+def _check_duplicates(query: Query, diagnostics: list[Diagnostic]) -> None:
+    """QA010: literally identical predicates repeated in the conjunction."""
+    seen: dict = {}
+    for predicate in query.predicates:
+        if predicate in seen:
+            diagnostics.append(
+                diag(
+                    "QA010",
+                    f"predicate {predicate.describe()} appears more than once",
+                    span=_span(predicate),
+                )
+            )
+        else:
+            seen[predicate] = True
+
+
+def lint_query(
+    query: Query,
+    context: AnalysisContext | None = None,
+    *,
+    strict: bool = False,
+) -> AnalysisReport:
+    """Run every semantic check on ``query`` and return the report.
+
+    With ``strict=True``, error-severity findings raise
+    :class:`~repro.analysis.diagnostics.AnalysisError` (warnings never
+    raise).  ``context`` supplies optional stream facts; omit it to run only
+    the pure predicate-logic checks.
+    """
+    context = context or AnalysisContext()
+    diagnostics: list[Diagnostic] = []
+    empty = _check_counts(query, diagnostics)
+    _check_vocabulary(query, context, diagnostics)
+    empty |= _check_regions(query, context, diagnostics)
+    empty |= _check_zero_forced(query, diagnostics)
+    _check_duplicates(query, diagnostics)
+    diagnostics.extend(window_diagnostics(query.window, context.num_frames))
+    report = AnalysisReport(
+        diagnostics=tuple(diagnostics),
+        source=getattr(query, "source", None),
+        provably_empty=empty,
+    )
+    if strict:
+        report.raise_for_errors(context=f"query {query.name!r}")
+    return report
+
+
+__all__ = ["AnalysisContext", "lint_query", "window_diagnostics"]

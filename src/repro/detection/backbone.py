@@ -29,7 +29,7 @@ signal a pretrained detection backbone provides.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Iterable
 
 import numpy as np
 

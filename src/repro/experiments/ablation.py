@@ -16,11 +16,10 @@
 
 from __future__ import annotations
 
-from dataclasses import replace
 
 from repro.detection.backbone import classification_backbone
 from repro.experiments.context import ExperimentConfig, get_context
-from repro.filters import FilterTrainer, calibrate_threshold, evaluate_count_filter, evaluate_localization
+from repro.filters import calibrate_threshold, evaluate_count_filter, evaluate_localization
 from repro.filters.ic import ICFilter
 from repro.query import PlannerConfig, QueryBuilder, QueryPlanner, StreamingQueryExecutor, brute_force_execute
 

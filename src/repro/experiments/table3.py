@@ -105,6 +105,12 @@ def build_query_specs() -> list[QuerySpec]:
 
 
 def _plan(context, spec: QuerySpec, query: Query):
+    # The evaluation queries are fixed and hand-checked, so plan them
+    # strictly: a typo'd class name or contradictory constraint in a spec is
+    # a bug in this file, and should fail the run up front with a QA0xx
+    # diagnostic rather than silently score an empty match set.
+    from repro.analysis import AnalysisContext
+
     planner = QueryPlanner(
         context.filters,
         PlannerConfig(
@@ -112,7 +118,11 @@ def _plan(context, spec: QuerySpec, query: Query):
             location_dilation=spec.location_dilation,
         ),
     )
-    return planner.plan(query)
+    return planner.plan(
+        query,
+        strict=True,
+        context=AnalysisContext.for_stream(context.dataset.test),
+    )
 
 
 def _make_row(spec: QuerySpec, filtered, brute) -> dict[str, object]:

@@ -17,7 +17,6 @@ the filter side of every sample draw.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Sequence
 
 import numpy as np
 

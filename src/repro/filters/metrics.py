@@ -14,7 +14,7 @@ Ground truth is, as in the paper, the output of the reference detector
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 

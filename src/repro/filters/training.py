@@ -20,7 +20,7 @@ Two implementations are provided, mirroring DESIGN.md:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -21,7 +21,6 @@ the (large) column matrix every forward.
 from __future__ import annotations
 
 import abc
-from typing import Mapping
 
 import numpy as np
 

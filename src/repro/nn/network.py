@@ -10,7 +10,7 @@ building block for trunks and heads.
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Callable, Iterable, Mapping, Sequence
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 

@@ -9,7 +9,7 @@ in place given the accumulated gradients.
 from __future__ import annotations
 
 import abc
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 import numpy as np
 

@@ -16,9 +16,8 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Sequence
 
-from repro.spatial.regions import Quadrant, Region
+from repro.spatial.regions import Region
 from repro.spatial.relations import Direction
 
 
@@ -45,6 +44,30 @@ class ComparisonOperator(enum.Enum):
         raise ValueError(f"unknown operator {self}")  # pragma: no cover
 
 
+@dataclass(frozen=True)
+class Span:
+    """A half-open character range ``[start, end)`` into the query source text.
+
+    Attached by the parser so diagnostics can point at the offending clause;
+    offsets refer to the *normalized* text the parser works on (whitespace
+    collapsed to single spaces), which :attr:`Query.source` preserves.
+    Excluded from dataclass comparison wherever it is embedded, so two
+    predicates parsed from different positions still compare (and hash, and
+    merge across cascades) as equal.
+    """
+
+    start: int
+    end: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.end < self.start:
+            raise ValueError(f"invalid span: [{self.start}, {self.end})")
+
+    def excerpt(self, source: str) -> str:
+        """The text the span covers (clamped to the source)."""
+        return source[self.start : min(self.end, len(source))]
+
+
 class Predicate:
     """Marker base class for all frame predicates."""
 
@@ -56,6 +79,7 @@ class CountPredicate(Predicate):
     class_name: str | None  # None means "all objects"
     operator: ComparisonOperator
     value: int
+    span: Span | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.value < 0:
@@ -73,6 +97,7 @@ class SpatialPredicate(Predicate):
     subject_class: str
     reference_class: str
     direction: Direction
+    span: Span | None = field(default=None, compare=False)
 
     def describe(self) -> str:
         return f"{self.subject_class} {self.direction.value} {self.reference_class}"
@@ -87,6 +112,7 @@ class RegionPredicate(Predicate):
     operator: ComparisonOperator = ComparisonOperator.AT_LEAST
     value: int = 1
     inside: bool = True
+    span: Span | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.value < 0:
@@ -106,6 +132,7 @@ class ColorPredicate(Predicate):
 
     class_name: str
     color: str
+    span: Span | None = field(default=None, compare=False)
 
     def describe(self) -> str:
         return f"some {self.class_name} is {self.color}"
@@ -149,12 +176,15 @@ class Query:
     ``name`` is a label used in reports (e.g. ``"q5"``); ``aliases`` records
     the variable-to-class bindings declared in the SELECT clause when the
     query came from the parser (useful for round-tripping and debugging).
+    ``source`` is the normalized query text the predicate spans index into
+    (``None`` for programmatically built queries).
     """
 
     predicates: tuple[Predicate, ...]
     name: str = "query"
     window: WindowSpec | None = None
     aliases: dict[str, str] = field(default_factory=dict, compare=False, hash=False)
+    source: str | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if not self.predicates:

@@ -9,7 +9,6 @@ objects per frame, within the paper's stated scope of tens of objects).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
 
 from repro.detection.base import Detection, FrameDetections
 from repro.query.ast import (

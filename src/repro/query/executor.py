@@ -419,8 +419,15 @@ class StreamingQueryExecutor:
         include_partial_windows: bool = True,
         temporal: TemporalConfig | None = None,
         parallel: ParallelConfig | None = None,
+        strict: bool = False,
     ) -> QueryExecutionResult:
         """Run ``query`` over ``stream`` (optionally restricted to ``frame_indices``).
+
+        ``strict=True`` re-runs the static analyzer over the query and the
+        cascade right before execution and raises
+        :class:`~repro.analysis.AnalysisError` (a ``ValueError``) on
+        error-severity findings — the belt-and-braces entry point for
+        cascades that did not come from ``QueryPlanner.plan(strict=True)``.
 
         ``batch_size=None`` selects the sequential per-frame path;
         ``batch_size=n`` processes the stream in chunks of ``n`` frames with
@@ -479,7 +486,39 @@ class StreamingQueryExecutor:
         # resetting the clock: a caller-supplied shared clock (e.g. one
         # accumulating cost across several executions) keeps its history.
         cost_baseline = self.clock.snapshot()
-        cascade = cascade or FilterCascade()
+        # `is None`, not truthiness: a provably-empty cascade has no steps
+        # (len 0, hence falsy) but must keep its short-circuit flag.
+        cascade = cascade if cascade is not None else FilterCascade()
+        if strict:
+            # Local import: repro.analysis depends on the query AST package.
+            from repro.analysis import lint_plan, lint_query
+
+            lint_query(query, strict=True)
+            lint_plan(cascade, strict=True)
+        if cascade.provably_empty:
+            # Static analysis proved the query can match no frame: return the
+            # empty result directly — zero frames rendered, filtered or
+            # verified.  Windowed queries still report their (empty) window
+            # instances so the result shape matches a normal windowed run.
+            return QueryExecutionResult(
+                query_name=query.name,
+                cascade_description=cascade.describe(),
+                matched_frames=(),
+                stats=ExecutionStats(
+                    frames_scanned=0,
+                    frames_passed_filters=0,
+                    detector_invocations=0,
+                    filter_invocations=0,
+                    simulated_cost=self.clock.delta_since(cost_baseline),
+                    wall_clock_seconds=0.0,
+                    batch_size=batch_size,
+                ),
+                windows=(
+                    _partition_into_windows(window_bounds, [], [], [])
+                    if window_bounds is not None
+                    else None
+                ),
+            )
         # The cascade's filters charge their latency to our clock for the
         # duration of this execution.
         previous_clocks = []
@@ -622,6 +661,7 @@ class StreamingQueryExecutor:
         include_partial_windows: bool = True,
         temporal: TemporalConfig | None = None,
         parallel: ParallelConfig | None = None,
+        strict: bool = False,
     ) -> MultiQueryExecutionResult:
         """Run several queries over ``stream`` in one shared scan.
 
@@ -694,11 +734,23 @@ class StreamingQueryExecutor:
             else:
                 query_cascades = [FilterCascade() for _ in queries]
         else:
-            query_cascades = [cascade or FilterCascade() for cascade in cascades]
+            # `is None`, not truthiness: provably-empty cascades are falsy
+            # (zero steps) but carry the short-circuit flag.
+            query_cascades = [
+                cascade if cascade is not None else FilterCascade()
+                for cascade in cascades
+            ]
             if len(query_cascades) != len(queries):
                 raise ValueError(
                     f"{len(queries)} queries but {len(query_cascades)} cascades"
                 )
+        if strict:
+            # Local import: repro.analysis depends on the query AST package.
+            from repro.analysis import lint_plan, lint_query
+
+            for query, cascade in zip(queries, query_cascades):
+                lint_query(query, strict=True)
+                lint_plan(cascade, strict=True)
         base_indices = (
             list(frame_indices) if frame_indices is not None else list(range(len(stream)))
         )
@@ -707,14 +759,20 @@ class StreamingQueryExecutor:
         # windows (same semantics and same error as execute()).
         per_query_windows: list[list[WindowBounds] | None] = []
         per_query_indices: list[list[int]] = []
-        for query in queries:
+        for query, cascade in zip(queries, query_cascades):
             bounds = _window_bounds_for(query, stream, include_partial_windows)
             per_query_windows.append(bounds)
-            per_query_indices.append(
-                _restrict_to_coverage(base_indices, bounds)
-                if bounds is not None
-                else list(base_indices)
-            )
+            if cascade.provably_empty:
+                # Statically proven to match nothing: the query takes part in
+                # no frame of the shared scan (and pulls no frame into the
+                # union on its own).
+                per_query_indices.append([])
+            else:
+                per_query_indices.append(
+                    _restrict_to_coverage(base_indices, bounds)
+                    if bounds is not None
+                    else list(base_indices)
+                )
         member_sets = [set(indices) for indices in per_query_indices]
         union_indices = [
             index

@@ -677,6 +677,25 @@ class _ProcessBackend:
         query_cascades: Sequence[FilterCascade],
         assignments: Sequence[Sequence[int]],
     ) -> None:
+        # Concurrency pre-flight (local import: repro.analysis depends on the
+        # query AST package, which initialises this module — importing it at
+        # module level would cycle).  The static audit catches lambda/local
+        # checks and unpicklable steps with a structured reason *before* any
+        # worker process exists, instead of an opaque mid-run pool error.
+        from repro.analysis import AnalysisError, Severity, audit_cascade
+
+        findings = []
+        for cascade in query_cascades:
+            findings.extend(audit_cascade(cascade).diagnostics)
+        errors = [d for d in findings if d.severity is Severity.ERROR]
+        if errors:
+            headline = "; ".join(f"{d.code}: {d.message}" for d in errors)
+            raise AnalysisError(
+                "backend='process' needs picklable, worker-safe cascades "
+                "(planner-built cascades are; hand-built lambda checks are "
+                f"not) — use backend='thread' instead [{headline}]",
+                diagnostics=tuple(findings),
+            )
         try:
             payload = pickle.dumps(
                 (list(query_cascades), [list(row) for row in assignments])

@@ -38,6 +38,7 @@ from repro.query.ast import (
     Predicate,
     Query,
     RegionPredicate,
+    Span,
     SpatialPredicate,
     WindowSpec,
 )
@@ -94,9 +95,13 @@ class _ParserState:
     alias_to_box: dict[str, str] = field(default_factory=dict)
     box_class: dict[str, str] = field(default_factory=dict)
     box_color: dict[str, str] = field(default_factory=dict)
+    box_class_span: dict[str, Span | None] = field(default_factory=dict)
+    box_color_span: dict[str, Span | None] = field(default_factory=dict)
     alias_class: dict[str, str] = field(default_factory=dict)
     predicates: list[Predicate] = field(default_factory=list)
-    spatial_alias_pairs: list[tuple[str, str, Direction]] = field(default_factory=list)
+    spatial_alias_pairs: list[tuple[str, str, Direction, Span | None]] = field(
+        default_factory=list
+    )
 
 
 def _split_conditions(where_clause: str) -> list[str]:
@@ -141,8 +146,27 @@ def _is_color_alias(alias: str) -> bool:
     return "color" in alias.lower()
 
 
+def _reject_leftover(condition: str, match: re.Match, kind: str) -> None:
+    """Reject trailing (or leading) garbage around a recognised condition.
+
+    The condition grammar has no infix operators besides the top-level ANDs
+    already split away, so anything outside the matched region — bar
+    grouping parentheses, whitespace and a trailing semicolon — is a typo
+    the old ``.search()``-based parser would have silently dropped.
+    """
+    leftover = (condition[: match.start()] + condition[match.end() :]).strip(" ();")
+    if leftover:
+        raise ParseError(
+            f"unexpected text {leftover!r} next to {kind} condition {condition!r}"
+        )
+
+
 def _parse_condition(
-    condition: str, state: _ParserState, frame_width: int, frame_height: int
+    condition: str,
+    state: _ParserState,
+    frame_width: int,
+    frame_height: int,
+    span: Span | None = None,
 ) -> None:
     condition = condition.strip().strip(";")
     if not condition:
@@ -150,14 +174,16 @@ def _parse_condition(
 
     order_match = _ORDER_RE.search(condition)
     if order_match:
+        _reject_leftover(condition, order_match, "ORDER")
         direction = Direction.from_keyword(order_match.group("dir"))
         state.spatial_alias_pairs.append(
-            (order_match.group("a"), order_match.group("b"), direction)
+            (order_match.group("a"), order_match.group("b"), direction, span)
         )
         return
 
     count_match = _COUNT_RE.search(condition)
     if count_match:
+        _reject_leftover(condition, count_match, "COUNT")
         target = count_match.group("target")
         class_name = None if target in ("*", "frameID") else target
         state.predicates.append(
@@ -165,12 +191,14 @@ def _parse_condition(
                 class_name=class_name,
                 operator=_OPERATORS[count_match.group("op")],
                 value=int(count_match.group("value")),
+                span=span,
             )
         )
         return
 
     inside_match = _INSIDE_RE.search(condition)
     if inside_match:
+        _reject_leftover(condition, inside_match, "INSIDE")
         region = _region_from_name(inside_match.group("region"), frame_width, frame_height)
         state.predicates.append(
             RegionPredicate(
@@ -179,6 +207,7 @@ def _parse_condition(
                 operator=_OPERATORS[inside_match.group("op")],
                 value=int(inside_match.group("value")),
                 inside=not inside_match.group("neg"),
+                span=span,
             )
         )
         return
@@ -193,6 +222,7 @@ def _parse_condition(
                 raise ParseError(f"unknown color {value!r} in condition {condition!r}")
             if box is not None:
                 state.box_color[box] = value
+                state.box_color_span[box] = span
             else:
                 raise ParseError(
                     f"color alias {alias!r} was not declared in the SELECT clause"
@@ -201,11 +231,12 @@ def _parse_condition(
             state.alias_class[alias] = value
             if box is not None:
                 state.box_class[box] = value
+                state.box_class_span[box] = span
             else:
                 # An undeclared type alias is treated as "there is at least one
                 # object of this class" (lenient mode for hand-written queries).
                 state.predicates.append(
-                    CountPredicate(value, ComparisonOperator.AT_LEAST, 1)
+                    CountPredicate(value, ComparisonOperator.AT_LEAST, 1, span=span)
                 )
         return
 
@@ -217,11 +248,20 @@ def parse_query(
     name: str = "query",
     frame_width: int = 448,
     frame_height: int = 448,
+    lint: bool = False,
+    strict: bool = False,
 ) -> Query:
     """Parse SQL-like query text into a :class:`~repro.query.ast.Query`.
 
     ``frame_width`` / ``frame_height`` are needed to materialise screen-region
     predicates (quadrants are defined relative to the frame).
+
+    Every predicate carries a :class:`~repro.query.ast.Span` into the
+    normalized query text (preserved as ``Query.source``), so downstream
+    diagnostics can quote the offending clause.  With ``lint=True`` the
+    static analyzer (:func:`repro.analysis.lint_query`) runs on the parsed
+    query: findings are emitted as warnings, or raised as
+    :class:`~repro.analysis.AnalysisError` when ``strict=True``.
     """
     if not text or not text.strip():
         raise ParseError("empty query text")
@@ -239,7 +279,8 @@ def parse_query(
     # Window clause.  The clause may appear before or after WHERE, so it is
     # stripped first and the WHERE split is computed on the post-removal text
     # (locating the split in the pre-removal string would garble the slice
-    # whenever WINDOW precedes WHERE).
+    # whenever WINDOW precedes WHERE).  Predicate spans likewise index into
+    # the post-removal text, which is what ``Query.source`` preserves.
     window = None
     window_match = _WINDOW_RE.search(normalized)
     if window_match:
@@ -251,22 +292,46 @@ def parse_query(
             (normalized[: window_match.start()] + normalized[window_match.end() :]).split()
         )
         upper = normalized.upper()
+        if _WINDOW_RE.search(normalized):
+            raise ParseError(
+                "duplicate WINDOW clause; a query may declare at most one window"
+            )
 
     # WHERE clause.
     where_index = upper.find(" WHERE ")
     if where_index < 0:
         raise ParseError("query must contain a WHERE clause")
-    where_clause = normalized[where_index + len(" WHERE ") :]
+    where_offset = where_index + len(" WHERE ")
+    where_clause = normalized[where_offset:]
+    search_pos = 0
     for condition in _split_conditions(where_clause):
-        _parse_condition(condition, state, frame_width, frame_height)
+        # Conditions are contiguous substrings of the WHERE clause (the AND
+        # split preserves every other token), so their spans can be recovered
+        # by searching forward from the previous condition's end.
+        relative = where_clause.find(condition, search_pos)
+        span = None
+        if relative >= 0:
+            span = Span(
+                start=where_offset + relative,
+                end=where_offset + relative + len(condition),
+            )
+            search_pos = relative + len(condition)
+        _parse_condition(condition, state, frame_width, frame_height, span)
 
     # Each box bound to a class implies that an object of that class exists.
     class_box_counts: dict[str, int] = {}
+    class_spans: dict[str, Span | None] = {}
     for box, class_name in state.box_class.items():
         class_box_counts[class_name] = class_box_counts.get(class_name, 0) + 1
+        class_spans.setdefault(class_name, state.box_class_span.get(box))
     for class_name, box_count in class_box_counts.items():
         state.predicates.append(
-            CountPredicate(class_name, ComparisonOperator.AT_LEAST, box_count)
+            CountPredicate(
+                class_name,
+                ComparisonOperator.AT_LEAST,
+                box_count,
+                span=class_spans.get(class_name),
+            )
         )
 
     # Color constraints on boxes become color predicates on the box's class.
@@ -276,13 +341,15 @@ def parse_query(
             raise ParseError(
                 f"box {box!r} has a color constraint but no class constraint"
             )
-        state.predicates.append(ColorPredicate(class_name, color))
+        state.predicates.append(
+            ColorPredicate(class_name, color, span=state.box_color_span.get(box))
+        )
 
     # ORDER constraints: resolve aliases to classes.
-    for alias_a, alias_b, direction in state.spatial_alias_pairs:
+    for alias_a, alias_b, direction, span in state.spatial_alias_pairs:
         class_a = state.alias_class.get(alias_a, alias_a.lower())
         class_b = state.alias_class.get(alias_b, alias_b.lower())
-        state.predicates.append(SpatialPredicate(class_a, class_b, direction))
+        state.predicates.append(SpatialPredicate(class_a, class_b, direction, span=span))
 
     if not state.predicates:
         raise ParseError("query has no recognisable predicates")
@@ -291,9 +358,19 @@ def parse_query(
         alias: state.alias_class.get(alias, "")
         for alias in state.alias_to_box
     }
-    return Query(
+    query = Query(
         predicates=tuple(state.predicates),
         name=name,
         window=window,
         aliases=aliases,
+        source=normalized,
     )
+    if lint or strict:
+        # Imported lazily: repro.analysis depends on repro.query.ast, so a
+        # module-level import here would cycle through package __init__s.
+        from repro.analysis import AnalysisContext, lint_query
+
+        context = AnalysisContext(frame_width=frame_width, frame_height=frame_height)
+        report = lint_query(query, context, strict=strict)
+        report.emit_warnings()
+    return query

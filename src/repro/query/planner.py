@@ -31,9 +31,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field, replace
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
-import numpy as np
 from scipy import ndimage
 
 from repro.filters.base import FilterPrediction, FrameFilter
@@ -44,8 +43,11 @@ from repro.query.ast import (
     RegionPredicate,
     SpatialPredicate,
 )
-from repro.spatial.grid import GridMask
 from repro.spatial.relations import grid_masks_satisfy_direction
+
+if TYPE_CHECKING:  # pragma: no cover - type-only, avoids the analysis cycle
+    from repro.analysis.diagnostics import Diagnostic
+    from repro.analysis.semantic import AnalysisContext
 
 
 @dataclass(frozen=True)
@@ -137,9 +139,19 @@ class CascadeStep:
 
 @dataclass
 class FilterCascade:
-    """An ordered list of cascade steps sharing filter predictions per frame."""
+    """An ordered list of cascade steps sharing filter predictions per frame.
+
+    ``provably_empty`` is set by the planner when static analysis proved the
+    query can match no frame whatsoever (e.g. contradictory count
+    constraints); the executor short-circuits such cascades to an empty
+    result without rendering a single frame.  ``diagnostics`` carries the
+    static-analysis findings (``QA0xx`` / ``PL0xx``) attached at plan time —
+    empty for hand-built cascades and for plans made with ``analyze=False``.
+    """
 
     steps: list[CascadeStep] = field(default_factory=list)
+    provably_empty: bool = False
+    diagnostics: tuple["Diagnostic", ...] = ()
 
     def __len__(self) -> int:
         return len(self.steps)
@@ -176,6 +188,8 @@ class FilterCascade:
         return filters[0] if filters else None
 
     def describe(self) -> str:
+        if self.provably_empty:
+            return "(provably empty)"
         return " -> ".join(step.name for step in self.steps) if self.steps else "(empty)"
 
 
@@ -556,7 +570,15 @@ class QueryPlanner:
             f"no class-aware filter available among {sorted(self.filters)}"
         )
 
-    def plan(self, query: Query, sample_stream=None) -> FilterCascade:
+    def plan(
+        self,
+        query: Query,
+        sample_stream=None,
+        *,
+        analyze: bool = True,
+        strict: bool = False,
+        context: "AnalysisContext | None" = None,
+    ) -> FilterCascade:
         """Build the filter cascade for ``query``.
 
         With ``cascade_ordering="selectivity"`` in the config, a
@@ -564,7 +586,66 @@ class QueryPlanner:
         pass rate on its first ``ordering_sample_size`` frames and orders the
         steps by cost per rejection (see
         :func:`order_cascade_by_selectivity`).
+
+        With the default ``analyze=True`` the static analyzer
+        (:mod:`repro.analysis`) runs over the query and the compiled plan:
+
+        * a query proved unable to match any frame yields an *empty* cascade
+          with ``provably_empty=True`` — the executor turns that into an
+          empty result without rendering a single frame;
+        * duplicate steps (PL001) and trivially-true steps (PL002 — e.g. a
+          ``COUNT >= 1`` check at tolerance 1, which can never reject) are
+          eliminated, except that elimination never empties a cascade that
+          had steps, so ``primary_filter`` stays defined.  Conjunctive steps
+          make both removals output-preserving.
+
+        Every finding is attached as ``cascade.diagnostics``.  ``strict=True``
+        additionally raises :class:`~repro.analysis.AnalysisError` (a
+        ``ValueError``) on error-severity findings; ``context`` supplies the
+        class vocabulary / frame geometry for the deeper semantic checks
+        (built with :meth:`repro.analysis.AnalysisContext.for_stream`).
+        ``analyze=False`` reproduces the raw, unoptimized plan.
         """
+        if analyze or strict:
+            return self._plan_analyzed(
+                query, sample_stream, strict=strict, context=context
+            )
+        return self._plan_raw(query, sample_stream)
+
+    def _plan_analyzed(
+        self,
+        query: Query,
+        sample_stream,
+        *,
+        strict: bool,
+        context: "AnalysisContext | None",
+    ) -> FilterCascade:
+        # Local import: repro.analysis imports the query AST package, which
+        # in turn initialises this module — a module-level import would cycle.
+        from repro.analysis import (
+            lint_plan,
+            lint_query,
+            optimize_cascade,
+            short_circuit_diagnostic,
+        )
+
+        query_report = lint_query(query, context, strict=strict)
+        if query_report.provably_empty:
+            return FilterCascade(
+                steps=[],
+                provably_empty=True,
+                diagnostics=query_report.diagnostics
+                + (short_circuit_diagnostic(query.name),),
+            )
+        cascade = self._plan_raw(query, sample_stream)
+        if strict:
+            lint_plan(cascade, strict=True)
+        optimized, plan_report = optimize_cascade(cascade)
+        optimized.provably_empty = False
+        optimized.diagnostics = query_report.diagnostics + plan_report.diagnostics
+        return optimized
+
+    def _plan_raw(self, query: Query, sample_stream=None) -> FilterCascade:
         config = self.config
         cascade = FilterCascade()
         primary = self._primary_filter()

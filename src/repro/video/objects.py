@@ -11,7 +11,7 @@ lifetime, which is what allows queries such as "red car" to be meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Sequence
+from typing import Mapping
 
 import numpy as np
 

@@ -11,7 +11,7 @@ objects realistic trajectories for the location filters and spatial queries.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
 import numpy as np

@@ -9,8 +9,7 @@ synthetic stream a plausible stand-in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Sequence
+from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

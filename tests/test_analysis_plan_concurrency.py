@@ -1,0 +1,257 @@
+"""Plan-level (PL0xx) and concurrency pre-flight (CC0xx) analyzer tests.
+
+The PL tests drive the real planner over trained filters so the dead/dup
+detection is exercised against genuine ``CountCheck`` steps; the CC tests
+use small module-level check classes that exhibit exactly one defect each.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import pytest
+
+from repro.analysis import (
+    AnalysisError,
+    Severity,
+    audit_cascade,
+    audit_check,
+    lint_plan,
+    optimize_cascade,
+    short_circuit_diagnostic,
+)
+from repro.query import (
+    CascadeStep,
+    FilterCascade,
+    PlannerConfig,
+    QueryBuilder,
+    QueryPlanner,
+)
+
+
+@pytest.fixture(scope="module")
+def filters(trained_od_filter, trained_od_cof):
+    return {"od": trained_od_filter, "od_cof": trained_od_cof}
+
+
+@pytest.fixture(scope="module")
+def planner(filters):
+    return QueryPlanner(filters, PlannerConfig(count_tolerance=1, location_dilation=1))
+
+
+# ---------------------------------------------------------------------------
+# PL001 / PL002 / PL003 golden tests
+# ---------------------------------------------------------------------------
+
+
+def test_pl001_duplicate_step(planner):
+    query = QueryBuilder("dup").total_count().at_most(4).build()
+    cascade = planner.plan(query, analyze=False)
+    doubled = replace(cascade, steps=cascade.steps + cascade.steps)
+    report = lint_plan(doubled)
+    assert "PL001" in report.codes
+    optimized, _ = optimize_cascade(doubled)
+    assert len(optimized) == len(cascade)
+
+
+def test_pl002_dead_step_at_tolerance(planner):
+    # COUNT(car) >= 1 at tolerance 1 widens to predicted >= 0: always true.
+    query = QueryBuilder("dead").count("car").at_least(1).build()
+    cascade = planner.plan(query, analyze=False)
+    report = lint_plan(cascade)
+    assert "PL002" in report.codes
+    assert all(d.severity is Severity.WARNING for d in report.diagnostics)
+
+
+def test_pl002_not_flagged_at_zero_tolerance(filters):
+    planner = QueryPlanner(filters, PlannerConfig(count_tolerance=0))
+    query = QueryBuilder("live").count("car").at_least(1).build()
+    cascade = planner.plan(query, analyze=False)
+    assert "PL002" not in lint_plan(cascade).codes
+
+
+def test_optimize_drops_dead_step_but_keeps_live_one(planner):
+    query = (
+        QueryBuilder("mixed")
+        .count("car").at_least(1)   # dead at tolerance 1
+        .total_count().at_most(4)   # AT_MOST can always reject
+        .build()
+    )
+    raw = planner.plan(query, analyze=False)
+    assert len(raw) == 2
+    optimized, report = optimize_cascade(raw)
+    assert "PL002" in report.codes
+    assert len(optimized) == 1
+    assert "COF" in optimized.steps[0].name  # the live total-count step
+
+
+def test_optimize_never_empties_a_cascade(planner):
+    # Every step is dead; the anchor rail keeps one so primary_filter works.
+    query = QueryBuilder("all_dead").count("car").at_least(1).build()
+    raw = planner.plan(query, analyze=False)
+    optimized, report = optimize_cascade(raw)
+    assert "PL002" in report.codes
+    assert len(optimized) == 1
+    assert optimized.primary_filter is not None
+
+
+def test_hand_built_steps_are_never_touched(trained_od_filter):
+    # No signature -> opaque: the analyzer must not reason about the lambda.
+    cascade = FilterCascade(
+        steps=[
+            CascadeStep(
+                name="opaque",
+                frame_filter=trained_od_filter,
+                check=lambda prediction: True,
+            )
+        ]
+        * 2
+    )
+    report = lint_plan(cascade)
+    assert report.codes == ()
+    optimized, _ = optimize_cascade(cascade)
+    assert len(optimized) == 2
+
+
+def test_pl003_short_circuit_plan(planner):
+    query = (
+        QueryBuilder("impossible")
+        .count("car").at_least(3)
+        .count("car").at_most(1)
+        .build()
+    )
+    cascade = planner.plan(query)
+    assert cascade.provably_empty
+    assert len(cascade) == 0
+    assert cascade.describe() == "(provably empty)"
+    codes = [d.code for d in cascade.diagnostics]
+    assert "QA001" in codes and "PL003" in codes
+
+
+def test_short_circuit_diagnostic_record():
+    record = short_circuit_diagnostic("impossible")
+    assert record.code == "PL003"
+    assert record.severity is Severity.INFO
+    assert "impossible" in record.message
+
+
+def test_plan_strict_raises_on_contradiction(planner):
+    query = (
+        QueryBuilder("impossible")
+        .count("car").at_least(3)
+        .count("car").at_most(1)
+        .build()
+    )
+    with pytest.raises(AnalysisError, match="QA001"):
+        planner.plan(query, strict=True)
+
+
+def test_plan_attaches_diagnostics_on_live_queries(planner):
+    query = (
+        QueryBuilder("mixed")
+        .count("car").at_least(1)
+        .total_count().at_most(4)
+        .build()
+    )
+    cascade = planner.plan(query)
+    assert not cascade.provably_empty
+    assert "PL002" in [d.code for d in cascade.diagnostics]
+
+
+# ---------------------------------------------------------------------------
+# Concurrency pre-flight (CC0xx)
+# ---------------------------------------------------------------------------
+
+
+class _UnpicklableCheck:
+    """Module-level class (passes CC002) whose instances cannot pickle."""
+
+    def __init__(self):
+        self.fn = lambda prediction: True  # lambdas in __dict__ defeat pickle
+
+    def __call__(self, prediction):
+        return self.fn(prediction)
+
+
+@dataclass(frozen=True)
+class _MutableContainerCheck:
+    cache: list
+
+    def __call__(self, prediction):
+        return True
+
+
+class _SelfMutatingCheck:
+    def __call__(self, prediction):
+        self.calls = getattr(self, "calls", 0) + 1
+        return True
+
+
+def _module_level_check(prediction):
+    return True
+
+
+def _one_step(trained_od_filter, check):
+    return FilterCascade(
+        steps=[CascadeStep(name="step", frame_filter=trained_od_filter, check=check)]
+    )
+
+
+def test_cc001_pickle_backstop(trained_od_filter):
+    report = audit_cascade(_one_step(trained_od_filter, _UnpicklableCheck()))
+    assert "CC001" in report.codes
+    assert "CC002" not in report.codes  # the class itself is module-level
+
+
+def test_cc002_lambda_check(trained_od_filter):
+    report = audit_cascade(_one_step(trained_od_filter, lambda prediction: True))
+    assert "CC002" in report.codes
+    # CC002 already explains the failure; the pickle backstop is skipped.
+    assert "CC001" not in report.codes
+
+
+def test_cc002_closure_and_local_class():
+    captured = 3
+
+    def local_check(prediction):
+        return prediction.count >= captured
+
+    class LocalCheck:
+        def __call__(self, prediction):
+            return True
+
+    assert any(d.code == "CC002" for d in audit_check(local_check, "closure"))
+    assert any(d.code == "CC002" for d in audit_check(LocalCheck(), "local class"))
+    assert audit_check(_module_level_check, "plain function") == []
+
+
+def test_cc003_mutable_state(trained_od_filter):
+    report = audit_cascade(_one_step(trained_od_filter, _MutableContainerCheck([])))
+    assert "CC003" in report.codes
+    assert report.ok  # warning severity: the step still ships, copied per worker
+
+
+def test_cc004_call_mutates_self():
+    findings = audit_check(_SelfMutatingCheck(), "mutator")
+    assert any(d.code == "CC004" for d in findings)
+    assert any("calls" in d.message for d in findings if d.code == "CC004")
+
+
+def test_planner_built_cascade_is_worker_safe(planner):
+    query = (
+        QueryBuilder("mixed")
+        .count("car").at_least(1)
+        .total_count().at_most(4)
+        .spatial("car").left_of("person")
+        .build()
+    )
+    cascade = planner.plan(query)
+    report = audit_cascade(cascade, strict=True)  # must not raise
+    assert report.ok
+
+
+def test_audit_cascade_strict_raises_before_any_worker(trained_od_filter):
+    cascade = _one_step(trained_od_filter, lambda prediction: True)
+    with pytest.raises(AnalysisError) as excinfo:
+        audit_cascade(cascade, strict=True)
+    assert any(d.code == "CC002" for d in excinfo.value.diagnostics)

@@ -41,7 +41,9 @@ def shared_filter_cascade(trained_od_filter, trained_od_cof):
         .spatial("car").left_of("person")
         .build()
     )
-    cascade = QueryPlanner(filters, PlannerConfig(count_tolerance=1, location_dilation=2)).plan(query)
+    # analyze=False: this fixture exercises the raw three-step plan; the
+    # analyzer would eliminate the tolerance-swallowed COUNT steps (PL002).
+    cascade = QueryPlanner(filters, PlannerConfig(count_tolerance=1, location_dilation=2)).plan(query, analyze=False)
     assert len(cascade) == 3
     assert len(cascade.filters) == 2  # CCF and CLF share the OD filter
     return query, cascade
@@ -296,7 +298,9 @@ def test_planner_selectivity_ordering_config(
     planner = QueryPlanner(filters, config)
     with pytest.raises(ValueError):
         planner.plan(query)  # needs a sample stream to measure on
-    cascade = planner.plan(query, sample_stream=tiny_jackson.test)
+    # analyze=False keeps the dead total-count step so the ordering has two
+    # measured steps to rank.
+    cascade = planner.plan(query, sample_stream=tiny_jackson.test, analyze=False)
     ranks = [step.cost_per_rejection for step in cascade.steps]
     assert ranks == sorted(ranks)
     for step in cascade.steps:

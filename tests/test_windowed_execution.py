@@ -173,7 +173,9 @@ def test_primary_filter_prefers_class_aware_filters(
     front; the control-variate source must stay the class-aware filter."""
     filters = {"od": trained_od_filter, "od_cof": trained_od_cof}
     query = QueryBuilder("mixed").count("car").at_least(1).count().at_least(1).build()
-    cascade = QueryPlanner(filters).plan(query)
+    # analyze=False: both steps are tolerance-swallowed (PL002); this test
+    # needs the raw two-step, two-filter plan to exercise reordering.
+    cascade = QueryPlanner(filters).plan(query, analyze=False)
     assert cascade.primary_filter is trained_od_filter
     reordered = FilterCascade(steps=list(reversed(cascade.steps)))
     assert reordered.filters[0] is trained_od_cof  # first-use order changed...

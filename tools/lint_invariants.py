@@ -1,0 +1,200 @@
+#!/usr/bin/env python3
+"""Repo-specific invariant lint (stdlib only — runs before any dependency install).
+
+Checks structural invariants the test suite cannot see but the engine relies
+on.  Each rule prints ``INV0xx`` findings with file:line locations and the
+script exits non-zero when any rule is violated.
+
+* **INV001 — planner checks stay picklable frozen dataclasses.**  Every
+  ``*Check`` class in ``repro/query/planner.py`` must be decorated
+  ``@dataclass(frozen=True)``: the process backend ships cascade checks to
+  workers by pickling, and the concurrency analyzer (CC003) assumes frozen
+  value semantics.
+* **INV002 — no lambda checks in planner-built cascades.**  A ``check=``
+  keyword in ``repro/query/planner.py`` must not be a lambda or local
+  function (unpicklable by reference; breaks the process backend).
+* **INV003 — no frame mutation in worker paths.**  In the executor /
+  parallel / temporal modules, nothing may assign to attributes or elements
+  of objects named ``frame`` / ``frames`` / ``images``: frames are shared
+  across queries and (for the process backend) live in shared memory, so a
+  mutation in one worker path corrupts every other reader.
+* **INV004 — worker clocks are constructed in exactly one place.**  In
+  ``repro/query/parallel.py``, ``SimulatedClock(...)`` may only be called
+  inside ``_attach_worker_clock``: a clock constructed per chunk or inside a
+  task function would silently drop simulated cost between merge points.
+* **INV005 — diagnostic codes and the README table stay in sync.**  Every
+  code registered in ``repro/analysis/diagnostics.py`` must appear in
+  README.md (and no unregistered ``QA/PL/CC`` code may appear in the
+  registry section of the README).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+
+PLANNER = SRC / "query" / "planner.py"
+DIAGNOSTICS = SRC / "analysis" / "diagnostics.py"
+README = REPO / "README.md"
+WORKER_PATH_MODULES = (
+    SRC / "query" / "executor.py",
+    SRC / "query" / "parallel.py",
+    SRC / "query" / "temporal.py",
+)
+FRAME_NAMES = {"frame", "frames", "images"}
+
+
+def _parse(path: Path) -> ast.Module:
+    return ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+
+
+def _is_frozen_dataclass_decorator(node: ast.expr) -> bool:
+    """``@dataclass(frozen=True)`` (possibly via ``dataclasses.dataclass``)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+    if name != "dataclass":
+        return False
+    return any(
+        keyword.arg == "frozen"
+        and isinstance(keyword.value, ast.Constant)
+        and keyword.value.value is True
+        for keyword in node.keywords
+    )
+
+
+def check_planner_checks_frozen(findings: list[str]) -> None:
+    tree = _parse(PLANNER)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.ClassDef) or not node.name.endswith("Check"):
+            continue
+        if not any(_is_frozen_dataclass_decorator(d) for d in node.decorator_list):
+            findings.append(
+                f"INV001 {PLANNER.relative_to(REPO)}:{node.lineno}: "
+                f"{node.name} must be a @dataclass(frozen=True) — planned "
+                "checks are pickled to process workers"
+            )
+
+
+def check_no_lambda_checks(findings: list[str]) -> None:
+    tree = _parse(PLANNER)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if keyword.arg == "check" and isinstance(keyword.value, ast.Lambda):
+                findings.append(
+                    f"INV002 {PLANNER.relative_to(REPO)}:{keyword.value.lineno}: "
+                    "planner passes a lambda as check= — unpicklable by "
+                    "reference; use a module-level frozen dataclass"
+                )
+
+
+def _assignment_targets(node: ast.AST) -> list[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return list(node.targets)
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)) and node.target is not None:
+        return [node.target]
+    return []
+
+
+def check_no_frame_mutation(findings: list[str]) -> None:
+    for path in WORKER_PATH_MODULES:
+        tree = _parse(path)
+        for node in ast.walk(tree):
+            for target in _assignment_targets(node):
+                if not isinstance(target, (ast.Attribute, ast.Subscript)):
+                    continue
+                base = target.value
+                if isinstance(base, ast.Name) and base.id in FRAME_NAMES:
+                    findings.append(
+                        f"INV003 {path.relative_to(REPO)}:{node.lineno}: "
+                        f"mutation of {base.id!r} — frames are shared across "
+                        "queries/workers and must stay immutable"
+                    )
+
+
+def check_worker_clock_construction(findings: list[str]) -> None:
+    path = SRC / "query" / "parallel.py"
+    tree = _parse(path)
+
+    allowed_spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "_attach_worker_clock":
+            allowed_spans.append((node.lineno, node.end_lineno or node.lineno))
+
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        name = func.attr if isinstance(func, ast.Attribute) else getattr(func, "id", None)
+        if name != "SimulatedClock":
+            continue
+        if any(start <= node.lineno <= end for start, end in allowed_spans):
+            continue
+        findings.append(
+            f"INV004 {path.relative_to(REPO)}:{node.lineno}: SimulatedClock "
+            "constructed outside _attach_worker_clock — per-chunk clocks "
+            "drop simulated cost between merge points"
+        )
+
+
+def _registered_codes() -> list[str]:
+    """The DIAGNOSTIC_CODES keys, read via ast (no package import needed)."""
+    tree = _parse(DIAGNOSTICS)
+    for node in ast.walk(tree):
+        targets = _assignment_targets(node)
+        for target in targets:
+            if isinstance(target, ast.Name) and target.id == "DIAGNOSTIC_CODES":
+                value = node.value
+                if isinstance(value, ast.Dict):
+                    return [
+                        key.value
+                        for key in value.keys
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                    ]
+    return []
+
+
+def check_readme_code_table(findings: list[str]) -> None:
+    codes = _registered_codes()
+    if not codes:
+        findings.append(
+            f"INV005 {DIAGNOSTICS.relative_to(REPO)}: DIAGNOSTIC_CODES "
+            "registry not found (moved or renamed?)"
+        )
+        return
+    readme = README.read_text(encoding="utf-8")
+    for code in codes:
+        if not re.search(rf"\b{re.escape(code)}\b", readme):
+            findings.append(
+                f"INV005 README.md: diagnostic code {code} is registered in "
+                f"{DIAGNOSTICS.relative_to(REPO)} but undocumented in the "
+                "README error-code table"
+            )
+
+
+def main() -> int:
+    findings: list[str] = []
+    check_planner_checks_frozen(findings)
+    check_no_lambda_checks(findings)
+    check_no_frame_mutation(findings)
+    check_worker_clock_construction(findings)
+    check_readme_code_table(findings)
+    if findings:
+        for finding in findings:
+            print(finding)
+        print(f"{len(findings)} invariant violation(s)")
+        return 1
+    print("lint_invariants: all invariants hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
