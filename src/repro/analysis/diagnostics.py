@@ -7,7 +7,10 @@ by layer:
 
 * ``QA0xx`` — query-level (AST) semantic findings,
 * ``PL0xx`` — plan-level (cascade) findings,
-* ``CC0xx`` — concurrency / pickle pre-flight findings.
+* ``CC0xx`` — concurrency / pickle pre-flight findings,
+* ``NN0xx`` — network shape/dtype abstract-interpretation findings,
+* ``RC0xx`` — runtime race / determinism sanitizer findings,
+* ``NU0xx`` — runtime numeric sanitizer findings.
 
 A :class:`Span` ties a diagnostic back to the offending clause of the query
 text the parser saw (character offsets into the normalized source), so
@@ -66,6 +69,18 @@ DIAGNOSTIC_CODES: dict[str, tuple[Severity, str]] = {
     "CC002": (Severity.ERROR, "check is a lambda / closure / local callable"),
     "CC003": (Severity.WARNING, "check carries mutable state"),
     "CC004": (Severity.WARNING, "check mutates attribute state when called"),
+    "NN001": (Severity.ERROR, "inter-layer shape mismatch"),
+    "NN002": (Severity.ERROR, "layer geometry invalid (non-positive or indivisible spatial dims)"),
+    "NN003": (Severity.ERROR, "eval-dtype drift (breaks the float32 inference fast path)"),
+    "NN004": (Severity.WARNING, "dead or unreachable layer"),
+    "NN005": (Severity.INFO, "opaque layer: shape and dtype assumed preserved"),
+    "RC001": (Severity.ERROR, "unsynchronized concurrent access to shared state"),
+    "RC002": (Severity.ERROR, "worker-private state entered by two threads concurrently"),
+    "RC003": (Severity.ERROR, "simulated clock raced by concurrent charges"),
+    "RC004": (Severity.ERROR, "parallel and sequential chunk results diverged"),
+    "NU001": (Severity.ERROR, "NaN in layer output"),
+    "NU002": (Severity.ERROR, "non-finite (overflowed) layer output"),
+    "NU003": (Severity.ERROR, "non-finite cost accumulation"),
 }
 
 

@@ -74,8 +74,49 @@ def _step_is_dead(step: Any) -> bool:
     )
 
 
+def _lint_step_networks(cascade: Any, diagnostics: list[Diagnostic]) -> None:
+    """Run the NN0xx shape interpreter over every neural filter in the plan.
+
+    A filter exposing ``network`` + ``image_size`` (i.e.
+    :class:`~repro.filters.neural.NeuralBranchFilter` or anything
+    shape-compatible) gets its layer stack abstract-interpreted with the
+    filter's declared inference dtype, so a malformed network is rejected at
+    ``plan()`` time with a layer trace — not mid-scan.  Each distinct
+    network is linted once.
+    """
+    from repro.analysis.shapes import input_spec, lint_network
+    from repro.nn.network import MultiHeadNetwork, Sequential
+
+    seen: set[int] = set()
+    for step in cascade.steps:
+        frame_filter = getattr(step, "frame_filter", None)
+        network = getattr(frame_filter, "network", None)
+        image_size = getattr(frame_filter, "image_size", None)
+        if network is None or image_size is None or id(network) in seen:
+            continue
+        if not isinstance(network, (Sequential, MultiHeadNetwork)):
+            continue
+        seen.add(id(network))
+        dtype = getattr(frame_filter, "inference_dtype", None)
+        spec = input_spec(int(image_size), dtype=dtype if dtype is not None else "float64")
+        name = getattr(frame_filter, "name", type(frame_filter).__name__)
+        # The filter's declared classes/grid pin the head shapes it will
+        # index into (lint_network skips expectations for absent heads).
+        expected: dict[str, tuple] = {}
+        class_names = getattr(frame_filter, "class_names", None)
+        grid = getattr(frame_filter, "grid", None)
+        if class_names is not None:
+            expected["counts"] = ("N", len(class_names))
+            if grid is not None:
+                expected["grid"] = ("N", len(class_names), grid.rows, grid.cols)
+        for finding in lint_network(network, spec, expected_outputs=expected):
+            diagnostics.append(
+                replace(finding, message=f"filter {name!r}: {finding.message}")
+            )
+
+
 def lint_plan(cascade: Any, *, strict: bool = False) -> AnalysisReport:
-    """Report duplicate (PL001) and dead (PL002) steps without modifying the plan."""
+    """Report duplicate (PL001), dead (PL002) and malformed-network (NN0xx) steps."""
     diagnostics: list[Diagnostic] = []
     seen: set[tuple] = set()
     for position, step in enumerate(cascade.steps):
@@ -99,6 +140,7 @@ def lint_plan(cascade: Any, *, strict: bool = False) -> AnalysisReport:
                     "reject a frame",
                 )
             )
+    _lint_step_networks(cascade, diagnostics)
     report = AnalysisReport(diagnostics=tuple(diagnostics))
     if strict:
         report.raise_for_errors(context="plan analysis")

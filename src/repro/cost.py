@@ -271,6 +271,12 @@ class SharedCostReport:
         return self.shared.reuse_fraction
 
 
+# Runtime sanitizer hook, installed by repro.analysis.sanitizers while a
+# sanitized scan runs.  ``None`` means off, and every use is guarded with
+# ``is not None`` so the uninstrumented path costs one global load (INV007).
+_CLOCK_SANITIZER = None
+
+
 class SimulatedClock:
     """Accumulates the simulated cost of detector / filter invocations."""
 
@@ -279,6 +285,13 @@ class SimulatedClock:
 
     def charge(self, component: str, milliseconds: float, calls: int = 1) -> None:
         """Charge ``milliseconds`` of simulated latency to ``component``."""
+        if _CLOCK_SANITIZER is not None:
+            with _CLOCK_SANITIZER.clock_access(self, "charge", component, milliseconds):
+                self._charge_unchecked(component, milliseconds, calls)
+            return
+        self._charge_unchecked(component, milliseconds, calls)
+
+    def _charge_unchecked(self, component: str, milliseconds: float, calls: int) -> None:
         if milliseconds < 0:
             raise ValueError(f"cannot charge negative time: {milliseconds}")
         if calls < 0:
@@ -299,6 +312,13 @@ class SimulatedClock:
         can show how much work the reuse avoided (see
         :attr:`CostBreakdown.per_component_reused`).
         """
+        if _CLOCK_SANITIZER is not None:
+            with _CLOCK_SANITIZER.clock_access(self, "reuse", component, 0.0):
+                self._reuse_unchecked(component, calls)
+            return
+        self._reuse_unchecked(component, calls)
+
+    def _reuse_unchecked(self, component: str, calls: int) -> None:
         if calls < 0:
             raise ValueError(f"cannot record negative reused calls: {calls}")
         if calls == 0:

@@ -85,6 +85,7 @@ from repro.query.parallel import (
     ParallelConfig,
     ParallelStats,
     PlanRevision,
+    partition_chunks,
     run_filter_chunk,
     run_parallel_scan,
 )
@@ -101,6 +102,7 @@ from repro.video.stream import Frame, VideoStream
 
 if TYPE_CHECKING:  # runtime import would be circular; see execute_aggregate
     from repro.aggregates.monitor import AggregateQuerySpec, MonitoringReport
+    from repro.analysis.diagnostics import AnalysisReport
 
 
 @dataclass(frozen=True)
@@ -121,6 +123,9 @@ class ExecutionStats:
     #: worker/prefetch telemetry of a parallel pipelined execution
     #: (``None`` when the scan ran without a ``ParallelConfig``)
     parallel: ParallelStats | None = None
+    #: findings of the runtime sanitizers (``None`` unless the scan ran with
+    #: ``ParallelConfig(sanitize=...)``; empty report = instrumented and clean)
+    sanitizer_report: "AnalysisReport | None" = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -284,6 +289,9 @@ class SharedExecutionStats:
     temporal: TemporalStats | None = None
     #: worker/prefetch telemetry of a parallel pipelined shared scan
     parallel: ParallelStats | None = None
+    #: findings of the runtime sanitizers (``None`` unless the scan ran with
+    #: ``ParallelConfig(sanitize=...)``; empty report = instrumented and clean)
+    sanitizer_report: "AnalysisReport | None" = None
 
     @property
     def savings_ratio(self) -> float:
@@ -537,6 +545,7 @@ class StreamingQueryExecutor:
         plan_revisions: tuple[PlanRevision, ...] = ()
         per_worker: tuple = ()
         num_chunks = 0
+        sanitizer_report: AnalysisReport | None = None
         try:
             if temporal is not None:
                 prefetcher: FramePrefetcher | None = None
@@ -579,6 +588,7 @@ class StreamingQueryExecutor:
                     profilers,
                     per_worker,
                     num_chunks,
+                    sanitizer_report,
                 ) = self._run_parallel_chunked(
                     [query],
                     stream,
@@ -631,6 +641,7 @@ class StreamingQueryExecutor:
             batch_size=effective_chunk if temporal is None else batch_size,
             plan_revisions=plan_revisions,
             parallel=parallel_stats,
+            sanitizer_report=sanitizer_report,
         )
         windows = (
             _partition_into_windows(window_bounds, indices, passed, matched)
@@ -816,6 +827,7 @@ class StreamingQueryExecutor:
         ]
         per_worker: tuple = ()
         num_chunks = 0
+        sanitizer_report: AnalysisReport | None = None
 
         started = time.perf_counter()
         try:
@@ -874,6 +886,7 @@ class StreamingQueryExecutor:
                     profilers,
                     per_worker,
                     num_chunks,
+                    sanitizer_report,
                 ) = self._run_parallel_chunked(
                     queries,
                     stream,
@@ -991,6 +1004,7 @@ class StreamingQueryExecutor:
             batch_size=chunk_size if parallel is not None else batch_size,
             temporal=temporal_stats,
             parallel=parallel_stats,
+            sanitizer_report=sanitizer_report,
         )
         return MultiQueryExecutionResult(results=tuple(results), shared=shared_stats)
 
@@ -1081,6 +1095,7 @@ class StreamingQueryExecutor:
         list[CascadeProfiler] | None,
         tuple,
         int,
+        "AnalysisReport | None",
     ]:
         """The parallel pipelined chunk scan (single- or multi-query).
 
@@ -1090,6 +1105,13 @@ class StreamingQueryExecutor:
         the main clock, running the detector on the union survivors and
         evaluating predicates — so every accumulator ends up exactly as the
         sequential loop would have left it.
+
+        With ``config.sanitize`` set, the scan runs under an activated
+        :class:`~repro.analysis.sanitizers.SanitizerSession`: races, numeric
+        corruption and merge divergence raise ``AnalysisError`` mid-scan
+        (``sanitize_strict=True``, the default) or are collected into the
+        returned :class:`~repro.analysis.AnalysisReport` and surfaced as
+        Python warnings.  ``sanitize=None`` leaves every hook uninstalled.
         """
         num_queries = len(queries)
         matched: list[list[int]] = [[] for _ in range(num_queries)]
@@ -1132,17 +1154,35 @@ class StreamingQueryExecutor:
                     if evaluate_predicates_on_detections(queries[position], detections):
                         matched[position].append(frame.index)
 
-        per_worker, num_chunks = run_parallel_scan(
-            config,
-            stream,
-            union_indices,
-            query_cascades,
-            assignments,
-            member_sets,
-            profilers,
-            chunk_size,
-            merge,
-        )
+        # Local import: repro.analysis imports the query AST package.
+        from repro.analysis.sanitizers import sanitized_scan
+
+        sanitizer_report: AnalysisReport | None = None
+        with sanitized_scan(config.sanitize, strict=config.sanitize_strict) as session:
+            per_worker, num_chunks = run_parallel_scan(
+                config,
+                stream,
+                union_indices,
+                query_cascades,
+                assignments,
+                member_sets,
+                profilers,
+                chunk_size,
+                merge,
+            )
+            if session is not None:
+                session.verify_determinism(
+                    stream,
+                    partition_chunks(union_indices, chunk_size),
+                    query_cascades,
+                    assignments,
+                    member_sets,
+                )
+                sanitizer_report = session.report()
+        if sanitizer_report is not None:
+            # Strict sessions raised from inside the scan; anything still
+            # here is a non-strict run, so surface findings as warnings.
+            sanitizer_report.emit_warnings()
         return (
             matched,
             passed,
@@ -1153,6 +1193,7 @@ class StreamingQueryExecutor:
             profilers,
             per_worker,
             num_chunks,
+            sanitizer_report,
         )
 
     # ------------------------------------------------------------------

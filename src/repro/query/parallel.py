@@ -49,6 +49,7 @@ import sys
 import threading
 from collections import deque
 from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context, shared_memory
 from typing import Callable, Sequence
@@ -64,6 +65,11 @@ from repro.query.planner import (
     replan_order,
 )
 from repro.video.stream import Frame, VideoStream
+
+# Runtime sanitizer hook, installed by repro.analysis.sanitizers while a
+# sanitized scan runs.  ``None`` means off, and every use is guarded with
+# ``is not None`` so the uninstrumented engine is unchanged (INV007).
+_WORKER_SANITIZER = None
 
 
 @dataclass(frozen=True)
@@ -88,6 +94,20 @@ class ParallelConfig:
     ``adaptive_margin``x.  Off by default: the reorder is always
     output-preserving, but cost accounting then depends on the observed
     stream rather than the planned order.
+
+    ``sanitize`` enables the opt-in runtime sanitizers of
+    :mod:`repro.analysis.sanitizers` for the chunked scan: ``"race"`` (the
+    lockset/ownership race detector), ``"numeric"`` (NaN/Inf checks on layer
+    outputs and cost accumulators), ``"determinism"`` (parallel vs
+    sequential chunk-digest diffing), a comma-joined combination, or
+    ``"all"``.  ``race`` and ``numeric`` instrument in-process state and
+    therefore need ``backend="thread"``.  ``sanitize_strict=True`` (default)
+    raises :class:`~repro.analysis.AnalysisError` at the first finding;
+    otherwise findings are collected on the execution stats'
+    ``sanitizer_report``.  The ``REPRO_SANITIZE`` environment variable
+    supplies a default spec when ``sanitize`` is unset (modes the backend
+    cannot support are dropped), which is how CI runs the whole parallel
+    suite under full instrumentation without touching each test.
     """
 
     num_workers: int = 4
@@ -100,6 +120,8 @@ class ParallelConfig:
     adaptive_interval: int = 8
     adaptive_margin: float = 1.2
     adaptive_min_evaluated: int = 16
+    sanitize: str | None = None
+    sanitize_strict: bool = True
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -128,6 +150,41 @@ class ParallelConfig:
             raise ValueError(
                 f"adaptive_min_evaluated must be positive: {self.adaptive_min_evaluated}"
             )
+        # Local import: repro.analysis sits above the query package, so
+        # importing it at module level would cycle (same reason as the
+        # process backend's audit import).
+        from repro.analysis.sanitizers import parse_sanitize_spec
+
+        if self.sanitize is None:
+            env_spec = os.environ.get("REPRO_SANITIZE")
+            if env_spec:
+                modes = parse_sanitize_spec(env_spec)
+                if self.backend == "process":
+                    # Race/numeric hooks live in the parent's modules; spawn
+                    # or fork workers never see the installed session, so an
+                    # env-driven default silently keeps what the backend can
+                    # actually run.
+                    modes = modes - {"race", "numeric"}
+                object.__setattr__(
+                    self, "sanitize", ",".join(sorted(modes)) if modes else None
+                )
+        else:
+            modes = parse_sanitize_spec(self.sanitize)
+            if not modes:
+                object.__setattr__(self, "sanitize", None)
+            elif self.backend == "process" and modes & {"race", "numeric"}:
+                raise ValueError(
+                    "sanitize='race'/'numeric' instrument in-process state the "
+                    "process backend cannot observe; use backend='thread' (the "
+                    "determinism checker works on either backend)"
+                )
+
+    @property
+    def sanitize_modes(self) -> frozenset[str]:
+        """The enabled sanitizer modes as a set (empty when off)."""
+        from repro.analysis.sanitizers import parse_sanitize_spec
+
+        return parse_sanitize_spec(self.sanitize)
 
     @property
     def effective_prefetch_threads(self) -> int:
@@ -571,11 +628,16 @@ class _ThreadBackend:
     ) -> ChunkOutcome:
         worker_id, cascades, clock = self._slots.get()
         try:
-            baseline = clock.snapshot()
-            alive, invocations, attributed, computed, step_stats = run_filter_chunk(
-                cascades, self._assignments, covered, orders, frames
-            )
-            delta = clock.delta_since(baseline)
+            if _WORKER_SANITIZER is not None:
+                window = _WORKER_SANITIZER.worker_window(chunk_id, id(cascades))
+            else:
+                window = nullcontext()
+            with window:
+                baseline = clock.snapshot()
+                alive, invocations, attributed, computed, step_stats = run_filter_chunk(
+                    cascades, self._assignments, covered, orders, frames
+                )
+                delta = clock.delta_since(baseline)
         finally:
             self._slots.put((worker_id, cascades, clock))
         return ChunkOutcome(
@@ -876,6 +938,8 @@ def run_parallel_scan(
             worker_totals[outcome.worker] = worker_totals.get(
                 outcome.worker, CostBreakdown()
             ).merged_with(outcome.breakdown)
+            if _WORKER_SANITIZER is not None:
+                _WORKER_SANITIZER.observe_chunk(next_merge, outcome)
             merge(next_merge, frames, outcome)
             if profilers is not None:
                 at_frame = chunks[next_merge][-1]

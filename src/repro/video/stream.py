@@ -16,10 +16,17 @@ from typing import Iterator
 
 import numpy as np
 
+from contextlib import nullcontext
+
 from repro.spatial.grid import Grid
 from repro.video.renderer import FrameRenderer, RendererConfig
 from repro.video.scene import FrameGroundTruth, Scene, SceneConfig, SceneSimulator
 from repro.video.synthesis import DatasetProfile
+
+# Runtime sanitizer hook, installed by repro.analysis.sanitizers while a
+# sanitized scan runs.  ``None`` means off, and every use is guarded with
+# ``is not None`` so the uninstrumented path stays lock-and-dict only (INV007).
+_FRAME_CACHE_SANITIZER = None
 
 
 @dataclass(frozen=True)
@@ -136,13 +143,13 @@ class VideoStream:
         """
         if self._frame_cache_size == 0:
             return self._render_frame(index)
-        with self._frame_cache_lock:
+        with self._cache_section(), self._frame_cache_lock:
             cached = self._frame_cache.get(index)
             if cached is not None:
                 self._frame_cache.move_to_end(index)
                 return cached
         frame = self._render_frame(index)
-        with self._frame_cache_lock:
+        with self._cache_section(), self._frame_cache_lock:
             existing = self._frame_cache.get(index)
             if existing is not None:
                 # Lost a render race: keep the first frame so repeated
@@ -153,6 +160,20 @@ class VideoStream:
             while len(self._frame_cache) > self._frame_cache_size:
                 self._frame_cache.popitem(last=False)
         return frame
+
+    def _cache_section(self):
+        """Race-sanitizer window for one locked LRU section.
+
+        The window declares the cache lock it runs under, so overlapping
+        windows from concurrent prefetch threads intersect on the lock and
+        stay silent; an access path that skipped the lock would declare an
+        empty lockset and be reported as RC001.
+        """
+        if _FRAME_CACHE_SANITIZER is not None:
+            return _FRAME_CACHE_SANITIZER.cache_access(
+                self, frozenset((id(self._frame_cache_lock),))
+            )
+        return nullcontext()
 
     def _render_frame(self, index: int) -> Frame:
         ground_truth = self._scene.ground_truth(index)

@@ -26,6 +26,18 @@ script exits non-zero when any rule is violated.
   code registered in ``repro/analysis/diagnostics.py`` must appear in
   README.md (and no unregistered ``QA/PL/CC`` code may appear in the
   registry section of the README).
+* **INV006 — the shape-interpreter and sanitizer code families stay
+  registered.**  The ``NN0xx`` (shape/dtype), ``RC0xx`` (race /
+  determinism) and ``NU0xx`` (numeric) codes that the analyzers emit must
+  all exist in ``DIAGNOSTIC_CODES`` — an emitted-but-unregistered code
+  raises ``ValueError`` at diagnostic construction, i.e. at the worst
+  possible moment (mid-scan, inside a worker).  Combined with INV005 this
+  also forces them into the README table.
+* **INV007 — sanitizer hooks are zero-overhead when off.**  Each hook
+  module declares its module-level ``_*_SANITIZER = None`` global, and
+  every *use* of that global sits inside an ``if <hook> is not None:``
+  body — so the uninstrumented hot paths never pay an attribute call, and
+  ``sanitize=None`` runs are bit-identical to the pre-sanitizer engine.
 """
 
 from __future__ import annotations
@@ -47,6 +59,23 @@ WORKER_PATH_MODULES = (
     SRC / "query" / "temporal.py",
 )
 FRAME_NAMES = {"frame", "frames", "images"}
+
+#: codes the shape interpreter and runtime sanitizers emit (INV006); keep in
+#: sync with repro/analysis/{shapes,sanitizers}.py
+ANALYZER_CODES = (
+    "NN001", "NN002", "NN003", "NN004", "NN005",
+    "RC001", "RC002", "RC003", "RC004",
+    "NU001", "NU002", "NU003",
+)
+
+#: (module, hook global) pairs; mirrors HOOK_SITES in
+#: repro/analysis/sanitizers.py (INV007)
+HOOK_MODULES = (
+    (SRC / "cost.py", "_CLOCK_SANITIZER"),
+    (SRC / "video" / "stream.py", "_FRAME_CACHE_SANITIZER"),
+    (SRC / "nn" / "network.py", "_LAYER_SANITIZER"),
+    (SRC / "query" / "parallel.py", "_WORKER_SANITIZER"),
+)
 
 
 def _parse(path: Path) -> ast.Module:
@@ -180,6 +209,71 @@ def check_readme_code_table(findings: list[str]) -> None:
             )
 
 
+def check_analyzer_codes_registered(findings: list[str]) -> None:
+    registered = set(_registered_codes())
+    for code in ANALYZER_CODES:
+        if code not in registered:
+            findings.append(
+                f"INV006 {DIAGNOSTICS.relative_to(REPO)}: analyzer code "
+                f"{code} is emitted by repro.analysis but missing from "
+                "DIAGNOSTIC_CODES — constructing it would raise mid-scan"
+            )
+
+
+def _is_hook_guard(node: ast.AST, hook: str) -> bool:
+    """``if <hook> is not None:`` (the INV007 zero-overhead guard)."""
+    if not isinstance(node, ast.If) or not isinstance(node.test, ast.Compare):
+        return False
+    test = node.test
+    return (
+        isinstance(test.left, ast.Name)
+        and test.left.id == hook
+        and len(test.ops) == 1
+        and isinstance(test.ops[0], ast.IsNot)
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+    )
+
+
+def check_sanitizer_hooks_guarded(findings: list[str]) -> None:
+    for path, hook in HOOK_MODULES:
+        tree = _parse(path)
+        declared = any(
+            isinstance(target, ast.Name) and target.id == hook
+            for node in tree.body
+            for target in _assignment_targets(node)
+        )
+        if not declared:
+            findings.append(
+                f"INV007 {path.relative_to(REPO)}: module-level {hook} = None "
+                "declaration missing — repro.analysis.sanitizers installs "
+                "hooks by setattr on this global"
+            )
+            continue
+        # Spans where a bare use of the hook is legitimate: the guard test
+        # itself and the guarded body (not the else branch).
+        allowed: list[tuple[int, int]] = []
+        for node in ast.walk(tree):
+            if _is_hook_guard(node, hook):
+                allowed.append((node.test.lineno, node.test.end_lineno or node.test.lineno))
+                allowed.append(
+                    (node.body[0].lineno, node.body[-1].end_lineno or node.body[-1].lineno)
+                )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Name) or node.id != hook:
+                continue
+            if not isinstance(node.ctx, ast.Load):
+                continue  # the declaration / reassignment, checked above
+            if any(start <= node.lineno <= end for start, end in allowed):
+                continue
+            findings.append(
+                f"INV007 {path.relative_to(REPO)}:{node.lineno}: {hook} used "
+                f"outside an `if {hook} is not None:` body — unguarded hook "
+                "uses tax the sanitize=None fast path"
+            )
+
+
 def main() -> int:
     findings: list[str] = []
     check_planner_checks_frozen(findings)
@@ -187,6 +281,8 @@ def main() -> int:
     check_no_frame_mutation(findings)
     check_worker_clock_construction(findings)
     check_readme_code_table(findings)
+    check_analyzer_codes_registered(findings)
+    check_sanitizer_hooks_guarded(findings)
     if findings:
         for finding in findings:
             print(finding)
