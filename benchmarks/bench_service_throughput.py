@@ -1,0 +1,156 @@
+"""Standing-query service soak benchmark: sustained ingest under backpressure.
+
+Two live streams, four standing queries each (eight concurrent), ingested by
+two shard workers under the ``block`` policy with a bounded four-chunk queue.
+The benchmark replays the Jackson test stream cyclically (frames re-indexed
+so the watermark keeps advancing) and reports sustained ingest throughput in
+frames per wall second.
+
+The assertions pin the service's soak contract: queue depth stays bounded by
+the configured capacity, nothing is dropped under ``block``, every ingested
+chunk is processed, and every standing query scanned every frame of its
+stream exactly once.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+from benchmarks.conftest import print_rows, write_bench_json
+from repro.query import PlannerConfig, QueryBuilder, QueryPlanner
+from repro.service import QueryService, StreamConfig
+
+STREAMS = ("north", "south")
+QUERIES_PER_STREAM = 4
+CHUNK_SIZE = 8
+QUEUE_CHUNKS = 4
+TOTAL_FRAMES = 480
+FEED_BATCH = 24
+
+
+def _looped_frames(stream, total):
+    base = [stream.frame(index) for index in range(len(stream))]
+    return [
+        dataclasses.replace(base[index % len(base)], index=index)
+        for index in range(total)
+    ]
+
+
+def run(config) -> dict[str, object]:
+    from repro.experiments.context import get_context
+
+    context = get_context("jackson", config)
+    planner = QueryPlanner(context.filters, PlannerConfig(count_tolerance=1))
+
+    service = QueryService()
+    handles: dict[str, list[int]] = {}
+    for name in STREAMS:
+        service.attach_stream(
+            name,
+            context.reference_detector(seed_offset=800),
+            StreamConfig(
+                chunk_size=CHUNK_SIZE, queue_chunks=QUEUE_CHUNKS, policy="block"
+            ),
+        )
+        handles[name] = []
+        for position in range(QUERIES_PER_STREAM):
+            query = (
+                QueryBuilder(f"{name}_q{position}")
+                .count("car").at_least(1 + position % 2)
+                .build()
+            )
+            handles[name].append(service.register(name, query, planner.plan(query)))
+
+    frames = _looped_frames(context.dataset.test, TOTAL_FRAMES)
+    service.start()
+    ingest_start = time.perf_counter()
+    for start in range(0, TOTAL_FRAMES, FEED_BATCH):
+        batch = frames[start : start + FEED_BATCH]
+        for name in STREAMS:
+            service.feed(name, batch)
+    service.stop(drain=True)
+    wall_seconds = time.perf_counter() - ingest_start
+
+    stats = service.stats()
+    per_stream = {name: stats.streams[name] for name in STREAMS}
+    results = service.close()
+
+    simulated_ms = sum(
+        results[handle].stats.simulated_cost.total_ms
+        for name in STREAMS
+        for handle in handles[name]
+    )
+    frames_total = TOTAL_FRAMES * len(STREAMS)
+    return {
+        "streams": len(STREAMS),
+        "standing_queries": len(STREAMS) * QUERIES_PER_STREAM,
+        "frames": frames_total,
+        "wall_s": round(wall_seconds, 3),
+        "frames_per_s": round(frames_total / wall_seconds, 1),
+        "simulated_s": round(simulated_ms / 1000.0, 2),
+        "per_stream": {
+            name: {
+                "chunks_ingested": shard.chunks_ingested,
+                "chunks_processed": shard.chunks_processed,
+                "queue_high_water": shard.queue_high_water,
+                "queue_depth": shard.queue_depth,
+                "dropped_chunks": shard.dropped_chunks,
+                "watermark": shard.watermark,
+            }
+            for name, shard in per_stream.items()
+        },
+        "frames_scanned": {
+            name: [results[handle].stats.frames_scanned for handle in handles[name]]
+            for name in STREAMS
+        },
+    }
+
+
+def format_rows(result: dict[str, object]) -> str:
+    lines = [
+        f"{'stream':<8}{'ingested':>9}{'processed':>10}{'hiwater':>8}"
+        f"{'depth':>6}{'dropped':>8}{'watermark':>10}"
+    ]
+    for name, shard in result["per_stream"].items():
+        lines.append(
+            f"{name:<8}{shard['chunks_ingested']:>9}{shard['chunks_processed']:>10}"
+            f"{shard['queue_high_water']:>8}{shard['queue_depth']:>6}"
+            f"{shard['dropped_chunks']:>8}{shard['watermark']:>10}"
+        )
+    lines.append(
+        f"{result['standing_queries']} standing queries over {result['streams']} "
+        f"streams: {result['frames']} frames in {result['wall_s']}s "
+        f"({result['frames_per_s']} frames/s sustained)"
+    )
+    return "\n".join(lines)
+
+
+def test_service_throughput_soak(benchmark, bench_config, pytestconfig):
+    result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    print_rows("Standing-query service soak (2 streams x 4 queries)", format_rows(result))
+    write_bench_json(
+        pytestconfig,
+        "service_throughput",
+        params={
+            "streams": result["streams"],
+            "standing_queries": result["standing_queries"],
+            "frames": result["frames"],
+            "chunk_size": CHUNK_SIZE,
+            "queue_chunks": QUEUE_CHUNKS,
+            "policy": "block",
+        },
+        wall_seconds=result["wall_s"],
+        simulated_seconds=result["simulated_s"],
+    )
+    for shard in result["per_stream"].values():
+        # Bounded queue under block: never deeper than the configured cap,
+        # empty after drain, nothing dropped, everything processed.
+        assert shard["queue_high_water"] <= QUEUE_CHUNKS
+        assert shard["queue_depth"] == 0
+        assert shard["dropped_chunks"] == 0
+        assert shard["chunks_processed"] == shard["chunks_ingested"]
+        assert shard["watermark"] == TOTAL_FRAMES - 1
+    # Every standing query scanned its stream exactly once, end to end.
+    for scanned in result["frames_scanned"].values():
+        assert scanned == [TOTAL_FRAMES] * QUERIES_PER_STREAM

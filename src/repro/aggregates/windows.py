@@ -4,7 +4,45 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, MutableSet
+
+
+def warn_window_tail_drop(
+    *,
+    size: int,
+    advance: int,
+    start: int,
+    stop: int,
+    num_frames: int,
+    registry: MutableSet[tuple[int, int, int, int]] | None = None,
+    stacklevel: int = 2,
+) -> None:
+    """Emit the QA006 tail-drop warning, at most once per ``registry``.
+
+    ``registry`` is an opaque per-scan (or per-session) set: when given, the
+    warning for a ``(size, advance, start, stop)`` tail fires only the first
+    time that tail is seen through that registry — a standing query over an
+    endless stream warns once, not once per chunk.  ``None`` keeps the
+    historical warn-every-call behaviour.
+    """
+    if registry is not None:
+        key = (size, advance, start, stop)
+        if key in registry:
+            return
+        registry.add(key)
+    # Local import: repro.analysis depends on repro.query, whose executor
+    # imports this module — a module-level import would cycle during package
+    # initialisation.
+    from repro.analysis import WindowTailDropWarning
+
+    warnings.warn(
+        f"window of size {size} drops the trailing "
+        f"{stop - start} frame(s) [{start}, {stop}) of a "
+        f"{num_frames}-frame stream (QA006); pass "
+        "include_partial=True to cover them",
+        WindowTailDropWarning,
+        stacklevel=stacklevel,
+    )
 
 
 @dataclass(frozen=True)
@@ -40,7 +78,13 @@ class HoppingWindow:
         if self.size <= 0 or self.advance <= 0:
             raise ValueError(f"size and advance must be positive: {self.size}, {self.advance}")
 
-    def windows_over(self, num_frames: int, include_partial: bool = False) -> Iterator[WindowBounds]:
+    def windows_over(
+        self,
+        num_frames: int,
+        include_partial: bool = False,
+        *,
+        warn_registry: MutableSet[tuple[int, int, int, int]] | None = None,
+    ) -> Iterator[WindowBounds]:
         """All window instances over a stream of ``num_frames`` frames.
 
         With the default ``include_partial=False`` only full-size windows are
@@ -58,6 +102,9 @@ class HoppingWindow:
         :class:`~repro.analysis.WindowTailDropWarning` (the runtime
         counterpart of the static QA006 diagnostic) — callers that chose the
         fixed-size semantics deliberately can filter the category out.
+        Callers that evaluate the same window spec repeatedly (a scan loop, a
+        standing-query session) pass a shared ``warn_registry`` set so each
+        distinct dropped tail warns once per scan rather than once per call.
         """
         if num_frames <= 0:
             return
@@ -68,18 +115,14 @@ class HoppingWindow:
                 yield WindowBounds(start=start, stop=stop)
             if stop - start < self.size:
                 if not include_partial and stop > start:
-                    # Local import: repro.analysis depends on repro.query,
-                    # whose executor imports this module — a module-level
-                    # import would cycle during package initialisation.
-                    from repro.analysis import WindowTailDropWarning
-
-                    warnings.warn(
-                        f"window of size {self.size} drops the trailing "
-                        f"{stop - start} frame(s) [{start}, {stop}) of a "
-                        f"{num_frames}-frame stream (QA006); pass "
-                        "include_partial=True to cover them",
-                        WindowTailDropWarning,
-                        stacklevel=2,
+                    warn_window_tail_drop(
+                        size=self.size,
+                        advance=self.advance,
+                        start=start,
+                        stop=stop,
+                        num_frames=num_frames,
+                        registry=warn_registry,
+                        stacklevel=3,
                     )
                 break
             start += self.advance

@@ -271,6 +271,121 @@ class SharedCostReport:
         return self.shared.reuse_fraction
 
 
+@dataclass(frozen=True)
+class BudgetViolation:
+    """One SLA ceiling a standing query blew through.
+
+    ``kind`` names the ceiling (``"throughput"``, ``"per_frame_cost"`` or
+    ``"total_cost"``); ``observed`` and ``limit`` are in the ceiling's own
+    unit (frames/second or simulated milliseconds).  ``at_frame`` is the
+    stream watermark when the check fired, so violations can be lined up
+    against window emissions and degrade events in a service trace.
+    """
+
+    label: str
+    kind: str
+    observed: float
+    limit: float
+    at_frame: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{self.label}: {self.kind} budget exceeded at frame {self.at_frame} "
+            f"(observed {self.observed:.3f}, limit {self.limit:.3f})"
+        )
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Per-query SLA ceilings for standing queries.
+
+    All ceilings are optional; an unset ceiling is never checked.  The
+    throughput floor is measured against *wall* time (the service's real
+    ingest rate), while the cost ceilings are measured against *simulated*
+    milliseconds attributed to the query (the paper-model cost it would pay
+    running alone) — the same dual accounting the rest of the codebase uses.
+
+    ``grace_seconds`` suppresses the throughput check until the query has
+    been registered that long, so a freshly registered query is not flagged
+    before the first chunk could possibly have arrived.
+    """
+
+    min_frames_per_second: float | None = None
+    max_simulated_ms_per_frame: float | None = None
+    max_simulated_ms_total: float | None = None
+    grace_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "min_frames_per_second",
+            "max_simulated_ms_per_frame",
+            "max_simulated_ms_total",
+        ):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set, got {value}")
+        if self.grace_seconds < 0:
+            raise ValueError(f"grace_seconds must be >= 0, got {self.grace_seconds}")
+
+    def violations(
+        self,
+        *,
+        label: str,
+        frames: int,
+        elapsed_seconds: float,
+        simulated_ms: float,
+        at_frame: int,
+    ) -> list[BudgetViolation]:
+        """Ceilings currently violated given the query's accrued counters.
+
+        Stateless: callers that want edge-triggered events (fire once per
+        ceiling, not once per chunk) track which ``kind``s already fired.
+        """
+        found: list[BudgetViolation] = []
+        if (
+            self.min_frames_per_second is not None
+            and elapsed_seconds > self.grace_seconds
+            and elapsed_seconds > 0.0
+        ):
+            observed = frames / elapsed_seconds
+            if observed < self.min_frames_per_second:
+                found.append(
+                    BudgetViolation(
+                        label=label,
+                        kind="throughput",
+                        observed=observed,
+                        limit=self.min_frames_per_second,
+                        at_frame=at_frame,
+                    )
+                )
+        if self.max_simulated_ms_per_frame is not None and frames > 0:
+            observed = simulated_ms / frames
+            if observed > self.max_simulated_ms_per_frame:
+                found.append(
+                    BudgetViolation(
+                        label=label,
+                        kind="per_frame_cost",
+                        observed=observed,
+                        limit=self.max_simulated_ms_per_frame,
+                        at_frame=at_frame,
+                    )
+                )
+        if (
+            self.max_simulated_ms_total is not None
+            and simulated_ms > self.max_simulated_ms_total
+        ):
+            found.append(
+                BudgetViolation(
+                    label=label,
+                    kind="total_cost",
+                    observed=simulated_ms,
+                    limit=self.max_simulated_ms_total,
+                    at_frame=at_frame,
+                )
+            )
+        return found
+
+
 # Runtime sanitizer hook, installed by repro.analysis.sanitizers while a
 # sanitized scan runs.  ``None`` means off, and every use is guarded with
 # ``is not None`` so the uninstrumented path costs one global load (INV007).

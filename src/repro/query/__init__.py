@@ -57,6 +57,7 @@ from repro.query.executor import (
     WindowStats,
     brute_force_execute,
 )
+from repro.query.session import ChunkProgress, QueryState, ScanSession
 from repro.query.temporal import (
     DeltaGate,
     TemporalConfig,
@@ -105,6 +106,9 @@ __all__ = [
     "WindowAggregateEstimate",
     "AggregateExecutionResult",
     "brute_force_execute",
+    "ScanSession",
+    "QueryState",
+    "ChunkProgress",
     "TemporalConfig",
     "TemporalStats",
     "TemporalScan",

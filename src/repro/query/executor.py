@@ -86,11 +86,11 @@ from repro.query.parallel import (
     ParallelStats,
     PlanRevision,
     partition_chunks,
-    run_filter_chunk,
     run_parallel_scan,
 )
 from repro.cost import ParallelCostReport
 from repro.query.planner import FilterCascade, merge_cascade_steps
+from repro.query.session import ScanSession
 from repro.query.temporal import (
     TemporalConfig,
     TemporalScan,
@@ -552,6 +552,11 @@ class StreamingQueryExecutor:
                 profiler: CascadeProfiler | None = None
                 render = stream.frame
                 if parallel is not None:
+                    # Profiler before prefetcher: everything constructed after
+                    # the prefetcher must live inside the try/finally below,
+                    # or a failure here would leak decode-ahead threads.
+                    if parallel.adaptive:
+                        profiler = CascadeProfiler(cascade, parallel)
                     prefetcher = FramePrefetcher(
                         stream,
                         indices,
@@ -559,8 +564,6 @@ class StreamingQueryExecutor:
                         threads=parallel.effective_prefetch_threads,
                     )
                     render = prefetcher.frame
-                    if parallel.adaptive:
-                        profiler = CascadeProfiler(cascade, parallel)
                 try:
                     (
                         matched,
@@ -836,6 +839,14 @@ class StreamingQueryExecutor:
                 profilers: list[CascadeProfiler] | None = None
                 render = stream.frame
                 if parallel is not None:
+                    # Profiler construction before the prefetcher (see
+                    # execute()): nothing may run between the prefetcher
+                    # constructor and the try/finally that closes it.
+                    if parallel.adaptive:
+                        profilers = [
+                            CascadeProfiler(cascade, parallel)
+                            for cascade in query_cascades
+                        ]
                     prefetcher = FramePrefetcher(
                         stream,
                         union_indices,
@@ -843,11 +854,6 @@ class StreamingQueryExecutor:
                         threads=parallel.effective_prefetch_threads,
                     )
                     render = prefetcher.frame
-                    if parallel.adaptive:
-                        profilers = [
-                            CascadeProfiler(cascade, parallel)
-                            for cascade in query_cascades
-                        ]
                 try:
                     (
                         matched,
@@ -1026,54 +1032,35 @@ class StreamingQueryExecutor:
 
         Mutates the per-query accumulators in place and returns the shared
         scan's actual ``(filter_computations, detector_invocations)``.  The
-        filter phase is :func:`~repro.query.parallel.run_filter_chunk` — the
-        very function the parallel workers execute — so the parallel engine
-        is chunk-for-chunk identical to this loop by construction.
+        loop itself lives in :class:`~repro.query.session.ScanSession`
+        (executor mode: precomputed coverage, caller-attached clocks) — this
+        method renders one chunk of frames at a time and pushes it, exactly
+        as the standing-query service does, so the one-shot and live paths
+        run the same accumulation code.  The filter phase is
+        :func:`~repro.query.parallel.run_filter_chunk` — the very function
+        the parallel workers execute — so the parallel engine is
+        chunk-for-chunk identical to this loop by construction.
         """
-        num_queries = len(queries)
-        shared_filter_computations = 0
-        shared_detector_invocations = 0
-        identity_orders = [
-            list(range(len(cascade.steps))) for cascade in query_cascades
-        ]
-        for start in range(0, len(union_indices), chunk_size):
-            chunk = list(union_indices[start : start + chunk_size])
-            # (a) one materialisation per frame, shared by every query
-            frames = [stream.frame(index) for index in chunk]
-            # (b) cascades over the chunk, with cross-query sharing
-            covered = [
-                [index in member_sets[position] for index in chunk]
-                for position in range(num_queries)
-            ]
-            alive, invocations, attributed, computed, _step_stats = run_filter_chunk(
-                query_cascades, assignments, covered, identity_orders, frames
-            )
-            shared_filter_computations += computed
-            alive_sets: list[set[int]] = []
-            for position in range(num_queries):
-                passed[position].extend(alive[position])
-                alive_sets.append(set(alive[position]))
-                filter_invocations[position] += invocations[position]
-                for component, calls in attributed[position].items():
+        del assignments  # recomputed by the session (deterministic merge)
+        session = ScanSession(
+            self.detector, clock=self.clock, live=False, attach_clocks=False
+        )
+        with session:
+            for query, cascade, members in zip(queries, query_cascades, member_sets):
+                session.add_query(query, cascade, member_set=members)
+            for start in range(0, len(union_indices), chunk_size):
+                chunk = union_indices[start : start + chunk_size]
+                # One materialisation per frame, shared by every query.
+                session.push_chunk([stream.frame(index) for index in chunk])
+            for position, state in enumerate(session.states):
+                matched[position].extend(state.matched)
+                passed[position].extend(state.passed)
+                filter_invocations[position] += state.filter_invocations
+                for component, calls in state.attributed.items():
                     attributed_calls[position][component] = (
                         attributed_calls[position].get(component, 0) + calls
                     )
-            # (c) detector once per union survivor; detections evaluated
-            # against each interested query's predicates
-            for frame in frames:
-                interested = [
-                    position
-                    for position in range(num_queries)
-                    if frame.index in alive_sets[position]
-                ]
-                if not interested:
-                    continue
-                detections = self.detector.detect(frame)
-                shared_detector_invocations += 1
-                for position in interested:
-                    if evaluate_predicates_on_detections(queries[position], detections):
-                        matched[position].append(frame.index)
-        return shared_filter_computations, shared_detector_invocations
+        return session.shared_filter_computations, session.shared_detector_invocations
 
     def _run_parallel_chunked(
         self,
@@ -1113,83 +1100,66 @@ class StreamingQueryExecutor:
         returned :class:`~repro.analysis.AnalysisReport` and surfaced as
         Python warnings.  ``sanitize=None`` leaves every hook uninstalled.
         """
-        num_queries = len(queries)
-        matched: list[list[int]] = [[] for _ in range(num_queries)]
-        passed: list[list[int]] = [[] for _ in range(num_queries)]
-        filter_invocations = [0] * num_queries
-        attributed_calls: list[dict[tuple[str, float], int]] = [
-            {} for _ in range(num_queries)
-        ]
-        shared_filter_computations = 0
-        shared_detector_invocations = 0
         profilers = (
             [CascadeProfiler(cascade, config) for cascade in query_cascades]
             if config.adaptive
             else None
         )
-
-        def merge(chunk_id: int, frames: list[Frame], outcome: ChunkOutcome) -> None:
-            nonlocal shared_filter_computations, shared_detector_invocations
-            self.clock.absorb(outcome.breakdown)
-            shared_filter_computations += outcome.computed
-            alive_sets = [set(row) for row in outcome.alive]
-            for position in range(num_queries):
-                passed[position].extend(outcome.alive[position])
-                filter_invocations[position] += outcome.filter_invocations[position]
-                for component, calls in outcome.attributed[position].items():
-                    attributed_calls[position][component] = (
-                        attributed_calls[position].get(component, 0) + calls
-                    )
-            for frame in frames:
-                interested = [
-                    position
-                    for position in range(num_queries)
-                    if frame.index in alive_sets[position]
-                ]
-                if not interested:
-                    continue
-                detections = self.detector.detect(frame)
-                shared_detector_invocations += 1
-                for position in interested:
-                    if evaluate_predicates_on_detections(queries[position], detections):
-                        matched[position].append(frame.index)
+        scan_session = ScanSession(
+            self.detector, clock=self.clock, live=False, attach_clocks=False
+        )
 
         # Local import: repro.analysis imports the query AST package.
         from repro.analysis.sanitizers import sanitized_scan
 
         sanitizer_report: AnalysisReport | None = None
-        with sanitized_scan(config.sanitize, strict=config.sanitize_strict) as session:
-            per_worker, num_chunks = run_parallel_scan(
-                config,
-                stream,
-                union_indices,
-                query_cascades,
-                assignments,
-                member_sets,
-                profilers,
-                chunk_size,
-                merge,
-            )
-            if session is not None:
-                session.verify_determinism(
+        with scan_session:
+            for query, cascade, position in zip(
+                queries, query_cascades, range(len(queries))
+            ):
+                scan_session.add_query(
+                    query,
+                    cascade,
+                    member_set=member_sets[position] if member_sets is not None else None,
+                )
+
+            def merge(chunk_id: int, frames: list[Frame], outcome: ChunkOutcome) -> None:
+                # The in-order merge body is the session's: absorb the
+                # chunk's filter cost, accumulate, detector-union phase.
+                scan_session.absorb_outcome(frames, outcome)
+
+            with sanitized_scan(config.sanitize, strict=config.sanitize_strict) as session:
+                per_worker, num_chunks = run_parallel_scan(
+                    config,
                     stream,
-                    partition_chunks(union_indices, chunk_size),
+                    union_indices,
                     query_cascades,
                     assignments,
                     member_sets,
+                    profilers,
+                    chunk_size,
+                    merge,
                 )
-                sanitizer_report = session.report()
+                if session is not None:
+                    session.verify_determinism(
+                        stream,
+                        partition_chunks(union_indices, chunk_size),
+                        query_cascades,
+                        assignments,
+                        member_sets,
+                    )
+                    sanitizer_report = session.report()
         if sanitizer_report is not None:
             # Strict sessions raised from inside the scan; anything still
             # here is a non-strict run, so surface findings as warnings.
             sanitizer_report.emit_warnings()
         return (
-            matched,
-            passed,
-            filter_invocations,
-            attributed_calls,
-            shared_filter_computations,
-            shared_detector_invocations,
+            [list(state.matched) for state in scan_session.states],
+            [list(state.passed) for state in scan_session.states],
+            [state.filter_invocations for state in scan_session.states],
+            [dict(state.attributed) for state in scan_session.states],
+            scan_session.shared_filter_computations,
+            scan_session.shared_detector_invocations,
             profilers,
             per_worker,
             num_chunks,

@@ -469,6 +469,7 @@ class ChunkPrefetcher:
         )
         self._futures: dict[int, Future] = {}
         self._scheduled = 0
+        self._closed = False
 
     def _render(self, chunk: Sequence[int]) -> list[Frame]:
         return [self._stream.frame(index) for index in chunk]
@@ -487,6 +488,14 @@ class ChunkPrefetcher:
         return future.result()
 
     def close(self) -> None:
+        """Shut the decode-ahead pool down; safe to call more than once.
+
+        Error paths close eagerly and ``finally`` blocks close again —
+        idempotency keeps the double close from re-running a shutdown.
+        """
+        if self._closed:
+            return
+        self._closed = True
         self._pool.shutdown(wait=True, cancel_futures=True)
 
 
@@ -525,6 +534,7 @@ class FramePrefetcher:
         self._scheduled = 0
         self._evicted = 0
         self._lock = threading.Lock()
+        self._closed = False
 
     def _schedule_through(self, position: int) -> None:
         limit = min(position + 1, len(self._order))
@@ -556,6 +566,10 @@ class FramePrefetcher:
         return self._stream.frame(index)
 
     def close(self) -> None:
+        """Shut the decode-ahead pool down; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
         self._pool.shutdown(wait=True, cancel_futures=True)
 
 
@@ -893,10 +907,17 @@ def run_parallel_scan(
         )
     else:
         backend = _ThreadBackend(config, query_cascades, assignments)
-    prefetcher = ChunkPrefetcher(
-        stream, chunks, depth=config.prefetch_depth,
-        threads=config.effective_prefetch_threads,
-    )
+    try:
+        prefetcher = ChunkPrefetcher(
+            stream, chunks, depth=config.prefetch_depth,
+            threads=config.effective_prefetch_threads,
+        )
+    except BaseException:
+        # The try/finally below only exists once the prefetcher does; without
+        # this guard a failing prefetcher constructor strands live backend
+        # workers (fatal for a service that restarts scans in a loop).
+        backend.close()
+        raise
     worker_totals: dict[str, CostBreakdown] = {}
     max_inflight = config.num_workers + config.prefetch_depth
     inflight: dict[int, tuple[Future, list[Frame], object]] = {}

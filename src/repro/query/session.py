@@ -1,0 +1,1098 @@
+"""Resumable scan sessions: the shared chunk pipeline, extracted.
+
+``execute_many`` owns a whole scan: it computes coverage, merges cascade
+steps, attaches clocks, then drives a chunk loop to completion.  A standing
+query service cannot work that way — chunks *arrive*, queries register and
+deregister while the scan is running, and per-window results must be emitted
+as soon as their frames are in.  :class:`ScanSession` is the chunk loop
+turned inside out: the caller pushes one chunk of frames at a time and the
+session holds every piece of cross-chunk state the monolithic loop kept in
+locals — the per-query accumulators, the merged cascade plan, the cross-query
+prediction-cache plumbing (via :func:`~repro.query.parallel.run_filter_chunk`,
+the same function the executor and the parallel workers run), the temporal
+delta gate, the live window partials and the parallel backend's in-flight
+chunks.
+
+Two operating modes share the accumulation code:
+
+* ``live=False`` — the executor's internal mode.  Queries carry precomputed
+  coverage (``member_set``), window partitioning stays with the executor,
+  and clocks are whatever the executor attached.  ``_run_many_chunked`` and
+  the parallel merge callback drive a session chunk-by-chunk, so the one-shot
+  engines and the service run literally the same accumulation code.
+* ``live=True`` — the service mode.  Coverage is computed from each query's
+  hopping window relative to the frame index at which it registered, windows
+  are emitted incrementally the moment the stream's watermark passes their
+  end, queries may be added and removed between chunks (the merged plan is
+  recomputed, already-emitted windows are never re-emitted), and the session
+  attaches the filters' and detector's clocks itself.
+
+Parity rail: replaying a finite stream chunk-by-chunk through a live session
+produces bit-identical per-query results to one-shot ``execute_many`` —
+every counter in this module is accumulated per (query, frame, filter)
+exactly as the executor's loops accumulate it, and window emission replicates
+``_partition_into_windows`` / ``HoppingWindow.windows_over`` semantics
+(including the at-most-one-truncated-tail rule).  ``tests/test_service.py``
+asserts the parity on the plain, windowed, temporal-exact and parallel paths.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Sequence
+
+from repro.aggregates.windows import HoppingWindow, WindowBounds, warn_window_tail_drop
+from repro.cost import BudgetViolation, CostBreakdown, QueryBudget, SimulatedClock
+from repro.detection.base import Detector
+from repro.filters.base import FilterPrediction, FrameFilter
+from repro.query.ast import Query
+from repro.query.evaluation import evaluate_predicates_on_detections
+from repro.query.parallel import (
+    CascadeProfiler,
+    ChunkOutcome,
+    ParallelConfig,
+    PlanRevision,
+    _ProcessBackend,
+    _ThreadBackend,
+    run_filter_chunk,
+)
+from repro.query.planner import (
+    FilterCascade,
+    expected_cascade_cost_ms,
+    merge_cascade_steps,
+    replan_order,
+)
+from repro.query.temporal import (
+    TemporalConfig,
+    TemporalStats,
+    _Telemetry,
+    clocks_detached,
+    with_component_reuses,
+)
+from repro.video.stream import Frame
+
+if TYPE_CHECKING:  # runtime import would be circular (executor imports us)
+    from repro.query.executor import QueryExecutionResult, WindowResult
+
+
+@dataclass(frozen=True)
+class _SessionVerdict:
+    """One query's share of a temporally-gated frame outcome.
+
+    Mirrors the executor's ``_QueryVerdict``: ``components`` holds the
+    ``(name, latency_ms)`` cost components a standalone run would have
+    charged for the frame.
+    """
+
+    components: tuple[tuple[str, float], ...]
+    passed: bool
+    matched: bool
+
+
+@dataclass(frozen=True)
+class _SessionTemporalOutcome:
+    """Cached per-frame outcome of a session's temporal step.
+
+    ``per_query`` is keyed by session id (only covering queries appear);
+    the gate's context key pins the covering set, so two outcomes compared
+    by the gate always hold the same keys.
+    """
+
+    per_query: dict[int, _SessionVerdict]
+    computed_components: tuple[str, ...]
+    detector_ran: bool
+
+
+@dataclass
+class QueryState:
+    """Cross-chunk state of one standing (or executor-internal) query.
+
+    The accumulator lists (``scanned`` / ``passed`` / ``matched``) grow in
+    scan order — in live mode that is ascending frame order, which is what
+    lets window emission count by bisection.  ``attributed`` maps
+    ``(component_name, latency_ms)`` to the calls a standalone run of this
+    query would have made, exactly as ``execute_many`` attributes cost.
+    """
+
+    sid: int
+    key: str
+    query: Query
+    cascade: FilterCascade
+    member_set: set[int] | None
+    window: HoppingWindow | None
+    include_partial: bool
+    origin: int
+    active: bool = True
+    provably_empty: bool = False
+    scanned: list[int] = field(default_factory=list)
+    passed: list[int] = field(default_factory=list)
+    matched: list[int] = field(default_factory=list)
+    filter_invocations: int = 0
+    attributed: dict[tuple[str, float], int] = field(default_factory=dict)
+    profiler: CascadeProfiler | None = None
+    budget: QueryBudget | None = None
+    violations: list[BudgetViolation] = field(default_factory=list)
+    violated_kinds: set[str] = field(default_factory=set)
+    registered_wall: float = 0.0
+    #: next window start index still awaiting emission (live windowed mode)
+    next_window_start: int = 0
+    windows_closed: bool = False
+    emitted_windows: list["WindowResult"] = field(default_factory=list)
+    match_cursor: int = 0
+    final: "QueryExecutionResult | None" = None
+
+    def covers(self, index: int) -> bool:
+        """Whether this query's coverage includes stream frame ``index``."""
+        if self.provably_empty:
+            return False
+        if self.member_set is not None:
+            return index in self.member_set
+        if index < self.origin:
+            return False
+        if self.window is None:
+            return True
+        return (index - self.origin) % self.window.advance < self.window.size
+
+
+@dataclass(frozen=True)
+class ChunkProgress:
+    """What one :meth:`ScanSession.push_chunk` call newly established.
+
+    ``new_matches[sid]`` holds match indices confirmed since the previous
+    report (parallel sessions confirm at the in-order merge, so a push may
+    report matches from earlier chunks and none from its own);
+    ``new_windows[sid]`` the window results whose end passed the watermark.
+    """
+
+    watermark: int
+    new_matches: dict[int, tuple[int, ...]]
+    new_windows: dict[int, tuple["WindowResult", ...]]
+
+    @property
+    def has_emissions(self) -> bool:
+        return bool(self.new_matches or self.new_windows)
+
+
+class ScanSession:
+    """A resumable shared multi-query scan fed one chunk at a time.
+
+    See the module docstring for the ``live`` modes.  A session is *not*
+    thread-safe: the service serialises all access per stream shard.  In
+    live mode the session owns the clock attachment (every registered
+    cascade's distinct filters and the detector charge ``self.clock`` until
+    :meth:`close`); in executor mode the caller has already attached clocks
+    and the session leaves them alone.
+
+    ``parallel`` distributes the filter phase of pushed chunks over a worker
+    backend with the engine's in-order merge (at most
+    ``num_workers + prefetch_depth`` chunks in flight; results, counters and
+    clock history are identical to the inline path).  ``temporal`` applies
+    delta gating across chunk boundaries with a persistent
+    :class:`~repro.query.temporal.DeltaGate` — only ``max_stride=1`` is
+    supported (striding needs the whole index sequence up front, which a
+    live session never has) and it cannot be combined with ``parallel``.
+
+    ``degrade`` configures the approximate mode that
+    :meth:`set_degraded` flips the session into under ingestion overload:
+    frames are delta-gated with ``degrade`` (``exact=False`` — reuses are
+    trusted, not verified) until the pressure clears.
+    """
+
+    def __init__(
+        self,
+        detector: Detector,
+        clock: SimulatedClock | None = None,
+        *,
+        live: bool = True,
+        attach_clocks: bool | None = None,
+        parallel: ParallelConfig | None = None,
+        temporal: TemporalConfig | None = None,
+        profile: bool = False,
+        degrade: TemporalConfig | None = None,
+    ) -> None:
+        if temporal is not None and parallel is not None:
+            raise ValueError(
+                "a session gates frames sequentially; combining temporal= "
+                "with parallel= is not supported (the one-shot executor "
+                "composes them as prefetch-only)"
+            )
+        if temporal is not None and temporal.max_stride != 1:
+            raise ValueError(
+                "session temporal gating needs max_stride=1: adaptive "
+                "striding requires the full index sequence up front"
+            )
+        if degrade is not None and degrade.exact:
+            raise ValueError("the degrade config must be approximate (exact=False)")
+        if degrade is not None and degrade.max_stride != 1:
+            raise ValueError("the degrade config needs max_stride=1")
+        self.detector = detector
+        self.clock = clock if clock is not None else SimulatedClock()
+        self.live = live
+        self._attach_clocks = live if attach_clocks is None else attach_clocks
+        self._parallel = parallel
+        self._temporal = temporal
+        self._profile = profile
+        self._degrade_config = degrade or TemporalConfig(exact=False)
+        self._states: list[QueryState] = []
+        self._watermark = -1
+        self._closed = False
+        self._cost_baseline = self.clock.snapshot()
+        # Merged plan over the *active* queries, rebuilt on membership change.
+        self._plan_dirty = False
+        self._active: list[int] = []
+        self._active_cascades: list[FilterCascade] = []
+        self._assignments: list[list[int]] = []
+        self._unique_steps: list = []
+        self._distinct_filters: list[FrameFilter] = []
+        self._attached: list[tuple[FrameFilter, SimulatedClock | None]] = []
+        self._detector_prev_clock = None
+        self._detector_attached = False
+        # Shared-scan counters (what the scan actually did).
+        self.shared_filter_computations = 0
+        self.shared_detector_invocations = 0
+        self.union_frames_scanned = 0
+        # Temporal machinery: a persistent gate (lazy import avoids paying
+        # for it on non-temporal sessions), session-lifetime telemetry.
+        self._gate = None
+        self._telemetry = _Telemetry()
+        self._filter_reuses = 0
+        self._detector_reuses = 0
+        self._detector_component = getattr(detector, "name", "detector")
+        self._detector_latency = float(getattr(detector, "latency_ms", 0.0))
+        #: degraded-mode state (see :meth:`set_degraded`)
+        self.degraded = False
+        self.degraded_frames = 0
+        self._degrade_gate = None
+        # Parallel pipelining state.
+        self._backend: _ThreadBackend | _ProcessBackend | None = None
+        self._inflight: dict[int, tuple] = {}
+        self._next_submit = 0
+        self._next_merge = 0
+        self._worker_totals: dict[str, CostBreakdown] = {}
+        self.chunks_merged = 0
+        #: once-per-session dedup registry for WindowTailDropWarning
+        self._warn_registry: set = set()
+        self._started_wall = time.perf_counter()
+
+    # ------------------------------------------------------------------
+    # Membership
+    # ------------------------------------------------------------------
+    @property
+    def states(self) -> list[QueryState]:
+        return self._states
+
+    @property
+    def active_sids(self) -> tuple[int, ...]:
+        self._ensure_plan()
+        return tuple(self._active)
+
+    @property
+    def unique_step_count(self) -> int:
+        """Cascade steps after cross-query dedup, over the active queries."""
+        self._ensure_plan()
+        return len(self._unique_steps)
+
+    @property
+    def total_step_count(self) -> int:
+        self._ensure_plan()
+        return sum(len(cascade.steps) for cascade in self._active_cascades)
+
+    @property
+    def watermark(self) -> int:
+        """Highest merged frame index (``-1`` before any chunk)."""
+        return self._watermark
+
+    def add_query(
+        self,
+        query: Query,
+        cascade: FilterCascade | None = None,
+        *,
+        member_set: set[int] | None = None,
+        budget: QueryBudget | None = None,
+        key: str | None = None,
+        include_partial_windows: bool = True,
+    ) -> int:
+        """Register a query; returns its session id (stable across churn).
+
+        In live mode coverage derives from ``query.window`` relative to the
+        registration point (``member_set`` must be ``None``); in executor
+        mode ``member_set`` is the precomputed coverage (``None`` = every
+        frame) and window partitioning stays with the caller.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if self.live and member_set is not None:
+            raise ValueError("live sessions compute coverage from the query window")
+        cascade = cascade if cascade is not None else FilterCascade()
+        window: HoppingWindow | None = None
+        origin = self._watermark + 1
+        if self.live and query.window is not None:
+            window = HoppingWindow(size=query.window.size, advance=query.window.advance)
+        state = QueryState(
+            sid=len(self._states),
+            key=key if key is not None else query.name,
+            query=query,
+            cascade=cascade,
+            member_set=member_set if not self.live else None,
+            window=window,
+            include_partial=include_partial_windows,
+            origin=origin,
+            provably_empty=cascade.provably_empty,
+            budget=budget,
+            registered_wall=time.perf_counter(),
+            next_window_start=origin,
+        )
+        if self._profile and len(cascade.steps) > 1:
+            state.profiler = CascadeProfiler(cascade, _observer_config(self._parallel))
+        self._states.append(state)
+        self._invalidate_plan()
+        return state.sid
+
+    def remove_query(self, sid: int) -> "QueryExecutionResult":
+        """Deregister a query, flushing its tail window, and return its result."""
+        state = self._states[sid]
+        if not state.active:
+            raise ValueError(f"query sid={sid} is not active")
+        self._drain_all()
+        self._flush_windows(state)
+        state.active = False
+        state.final = self._finalize_state(state)
+        self._invalidate_plan()
+        return state.final
+
+    def _invalidate_plan(self) -> None:
+        # Membership changed: drain the parallel pipeline under the *old*
+        # plan (in-flight outcomes are shaped by the old active list), then
+        # drop the backend so the next push rebuilds it with the new plan.
+        self._drain_all()
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+        self._plan_dirty = True
+
+    def _ensure_plan(self) -> None:
+        if not self._plan_dirty:
+            return
+        self._plan_dirty = False
+        self._active = [state.sid for state in self._states if state.active]
+        self._active_cascades = [self._states[sid].cascade for sid in self._active]
+        self._unique_steps, assignments = merge_cascade_steps(self._active_cascades)
+        self._assignments = [list(row) for row in assignments]
+        distinct: list[FrameFilter] = []
+        for cascade in self._active_cascades:
+            for frame_filter in cascade.filters:
+                if all(frame_filter is not existing for existing in distinct):
+                    distinct.append(frame_filter)
+        if self._attach_clocks:
+            self._reattach_clocks(distinct)
+        self._distinct_filters = distinct
+
+    def _reattach_clocks(self, distinct: list[FrameFilter]) -> None:
+        still = {id(frame_filter) for frame_filter in distinct}
+        kept: list[tuple[FrameFilter, SimulatedClock | None]] = []
+        attached = {id(frame_filter) for frame_filter, _ in self._attached}
+        for frame_filter, previous in self._attached:
+            if id(frame_filter) in still:
+                kept.append((frame_filter, previous))
+            else:
+                frame_filter.clock = previous
+        for frame_filter in distinct:
+            if id(frame_filter) not in attached:
+                kept.append((frame_filter, frame_filter.clock))
+                frame_filter.clock = self.clock
+        self._attached = kept
+        if not self._detector_attached and hasattr(self.detector, "clock"):
+            self._detector_prev_clock = self.detector.clock
+            self.detector.clock = self.clock
+            self._detector_attached = True
+
+    # ------------------------------------------------------------------
+    # Pushing chunks
+    # ------------------------------------------------------------------
+    def push_chunk(self, frames: Sequence[Frame]) -> ChunkProgress:
+        """Feed one chunk of frames through the pipeline.
+
+        Live sessions require strictly ascending frame indices past the
+        watermark (window emission counts by bisection over the accumulator
+        lists).  Returns the matches and completed windows the push newly
+        confirmed — for parallel sessions that is whatever merged, which may
+        lag the submitted chunk by up to the in-flight window.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        frames = list(frames)
+        if not frames:
+            return self._progress({})
+        if self.live:
+            previous = self._watermark
+            for frame in frames:
+                if frame.index <= previous:
+                    raise ValueError(
+                        f"live sessions need strictly ascending frame indices: "
+                        f"{frame.index} after watermark {previous}"
+                    )
+                previous = frame.index
+        self._ensure_plan()
+        cursors = self._match_cursors()
+        if not self._active:
+            self._watermark = max(self._watermark, frames[-1].index)
+            return self._progress(cursors)
+        if self._temporal is not None or self.degraded:
+            self._push_temporal(frames)
+        elif self._parallel is not None:
+            self._push_parallel(frames)
+        else:
+            self._push_inline(frames)
+        return self._progress(cursors)
+
+    def _match_cursors(self) -> dict[int, int]:
+        return {state.sid: len(state.matched) for state in self._states if state.active}
+
+    def _progress(self, cursors: dict[int, int]) -> ChunkProgress:
+        new_matches: dict[int, tuple[int, ...]] = {}
+        new_windows: dict[int, tuple] = {}
+        for sid, start in cursors.items():
+            state = self._states[sid]
+            if len(state.matched) > start:
+                new_matches[sid] = tuple(state.matched[start:])
+            completed = self._emit_completed(state)
+            if completed:
+                new_windows[sid] = tuple(completed)
+        return ChunkProgress(
+            watermark=self._watermark,
+            new_matches=new_matches,
+            new_windows=new_windows,
+        )
+
+    # -- inline (sequential) path --------------------------------------
+    def _push_inline(self, frames: list[Frame]) -> None:
+        states = [self._states[sid] for sid in self._active]
+        covered = [[state.covers(frame.index) for frame in frames] for state in states]
+        orders = self._current_orders()
+        alive, invocations, attributed, computed, step_stats = run_filter_chunk(
+            self._active_cascades, self._assignments, covered, orders, frames
+        )
+        self._accumulate_filter_phase(
+            states, frames, covered, alive, invocations, attributed, computed
+        )
+        self._observe_profilers(states, step_stats, frames[-1].index)
+        self._detector_phase(states, frames, [set(row) for row in alive])
+        self._watermark = max(self._watermark, frames[-1].index)
+
+    def _current_orders(self) -> list[tuple[int, ...]]:
+        orders: list[tuple[int, ...]] = []
+        for sid in self._active:
+            profiler = self._states[sid].profiler
+            if profiler is not None:
+                orders.append(tuple(profiler.order))
+            else:
+                orders.append(tuple(range(len(self._states[sid].cascade.steps))))
+        return orders
+
+    def _observe_profilers(
+        self, states: list[QueryState], step_stats, at_frame: int
+    ) -> None:
+        for state, stats_row in zip(states, step_stats):
+            if state.profiler is not None:
+                state.profiler.observe(stats_row, at_frame)
+
+    def _accumulate_filter_phase(
+        self,
+        states: list[QueryState],
+        frames: list[Frame],
+        covered: list[list[bool]],
+        alive: Sequence[Sequence[int]],
+        invocations: Sequence[int],
+        attributed: Sequence[dict[tuple[str, float], int]],
+        computed: int,
+    ) -> None:
+        self.shared_filter_computations += computed
+        union = 0
+        for k in range(len(frames)):
+            if any(mask[k] for mask in covered):
+                union += 1
+        self.union_frames_scanned += union
+        for position, state in enumerate(states):
+            state.scanned.extend(
+                frame.index for k, frame in enumerate(frames) if covered[position][k]
+            )
+            state.passed.extend(alive[position])
+            state.filter_invocations += invocations[position]
+            for component, calls in attributed[position].items():
+                state.attributed[component] = state.attributed.get(component, 0) + calls
+
+    def _detector_phase(
+        self, states: list[QueryState], frames: list[Frame], alive_sets: list[set[int]]
+    ) -> None:
+        for frame in frames:
+            interested = [
+                position
+                for position in range(len(states))
+                if frame.index in alive_sets[position]
+            ]
+            if not interested:
+                continue
+            detections = self.detector.detect(frame)
+            self.shared_detector_invocations += 1
+            for position in interested:
+                state = states[position]
+                if evaluate_predicates_on_detections(state.query, detections):
+                    state.matched.append(frame.index)
+
+    def absorb_outcome(
+        self, frames: Sequence[Frame], outcome: ChunkOutcome, sids: Sequence[int] | None = None
+    ) -> None:
+        """Merge one worker :class:`ChunkOutcome` (the engine's merge body).
+
+        Absorbs the chunk's filter cost into the session clock, accumulates
+        the per-query counters and runs the detector-union phase — exactly
+        what ``execute_many``'s sequential loop does inline, so the parallel
+        path stays chunk-for-chunk identical by construction.
+        """
+        self._ensure_plan()
+        if sids is None:
+            sids = self._active
+        states = [self._states[sid] for sid in sids]
+        frames = list(frames)
+        self.clock.absorb(outcome.breakdown)
+        covered = [[state.covers(frame.index) for frame in frames] for state in states]
+        self._accumulate_filter_phase(
+            states,
+            frames,
+            covered,
+            outcome.alive,
+            outcome.filter_invocations,
+            outcome.attributed,
+            outcome.computed,
+        )
+        self._detector_phase(states, frames, [set(row) for row in outcome.alive])
+        if frames:
+            self._watermark = max(self._watermark, frames[-1].index)
+        self.chunks_merged += 1
+
+    # -- parallel path --------------------------------------------------
+    def _ensure_backend(self) -> "_ThreadBackend | _ProcessBackend":
+        if self._backend is None:
+            assert self._parallel is not None
+            if self._parallel.backend == "process":
+                self._backend = _ProcessBackend(
+                    self._parallel, self._active_cascades, self._assignments
+                )
+            else:
+                self._backend = _ThreadBackend(
+                    self._parallel, self._active_cascades, self._assignments
+                )
+        return self._backend
+
+    def _push_parallel(self, frames: list[Frame]) -> None:
+        assert self._parallel is not None
+        backend = self._ensure_backend()
+        states = [self._states[sid] for sid in self._active]
+        chunk = [frame.index for frame in frames]
+        covered = [[state.covers(index) for index in chunk] for state in states]
+        orders = self._current_orders()
+        future, handle = backend.submit(self._next_submit, chunk, frames, covered, orders)
+        self._inflight[self._next_submit] = (future, frames, handle, tuple(self._active))
+        self._next_submit += 1
+        max_inflight = self._parallel.num_workers + self._parallel.prefetch_depth
+        self._drain_ready()
+        while len(self._inflight) >= max_inflight:
+            self._merge_next()
+
+    def _drain_ready(self) -> None:
+        while self._next_merge in self._inflight:
+            future = self._inflight[self._next_merge][0]
+            if not future.done():
+                return
+            self._merge_next()
+
+    def _drain_all(self) -> None:
+        while self._next_merge in self._inflight:
+            self._merge_next()
+
+    def _merge_next(self) -> None:
+        future, frames, handle, sids = self._inflight.pop(self._next_merge)
+        backend = self._backend
+        try:
+            outcome = future.result()
+        finally:
+            if backend is not None:
+                backend.release(handle)
+        self._worker_totals[outcome.worker] = self._worker_totals.get(
+            outcome.worker, CostBreakdown()
+        ).merged_with(outcome.breakdown)
+        self.absorb_outcome(frames, outcome, sids)
+        states = [self._states[sid] for sid in sids]
+        self._observe_profilers(states, outcome.step_stats, frames[-1].index)
+        self._next_merge += 1
+
+    @property
+    def worker_breakdowns(self) -> dict[str, CostBreakdown]:
+        """Per-worker simulated-cost totals of the session's parallel phase."""
+        return {label: breakdown.copy() for label, breakdown in self._worker_totals.items()}
+
+    # -- temporal path --------------------------------------------------
+    def _active_gate(self):
+        from repro.query.temporal import DeltaGate
+
+        if self._temporal is not None and not self.degraded:
+            if self._gate is None:
+                self._gate = DeltaGate(self._temporal)
+            return self._gate, self._temporal.exact
+        if self._degrade_gate is None:
+            self._degrade_gate = DeltaGate(self._degrade_config)
+        return self._degrade_gate, False
+
+    def _push_temporal(self, frames: list[Frame]) -> None:
+        gate, exact = self._active_gate()
+        states = {sid: self._states[sid] for sid in self._active}
+        for frame in frames:
+            context = tuple(
+                sid for sid in self._active if states[sid].covers(frame.index)
+            )
+            if not context:
+                continue
+            self._telemetry.frames_total += 1
+            self.union_frames_scanned += 1
+            if self.degraded:
+                self.degraded_frames += 1
+            if gate.decide(frame.image, context):
+                outcome = gate.outcome
+                gate.mark_reused()
+                self._telemetry.frames_reused += 1
+                self._reuse_charge(outcome)
+                if exact:
+                    truth = self._verify_frame(frame, context)
+                    self._telemetry.verified_frames += 1
+                    if _temporal_verdict(truth) != _temporal_verdict(outcome):
+                        self._telemetry.reuse_mismatches += 1
+                        gate.replace_outcome(truth)
+                    outcome = truth
+            else:
+                outcome = self._evaluate_frame(frame, context, charged=True)
+                gate.set_keyframe(frame.image, outcome, context)
+                self._telemetry.frames_computed += 1
+            self._apply_temporal_outcome(frame.index, outcome)
+        self._watermark = max(self._watermark, frames[-1].index)
+
+    def _evaluate_frame(
+        self, frame: Frame, context: tuple[int, ...], charged: bool
+    ) -> _SessionTemporalOutcome:
+        index_by_sid = {sid: position for position, sid in enumerate(self._active)}
+        predictions: dict[tuple, FilterPrediction] = {}
+        step_outcomes: dict[int, bool] = {}
+        computed: list[str] = []
+        per_query: dict[int, _SessionVerdict] = {}
+        survivors: list[int] = []
+        for sid in context:
+            state = self._states[sid]
+            position = index_by_sid[sid]
+            cascade = state.cascade
+            step_positions = self._assignments[position]
+            alive = True
+            counted: set[tuple] = set()
+            components: list[tuple[str, float]] = []
+            step_stats = [(0, 0)] * len(cascade.steps)
+            order = (
+                state.profiler.order
+                if state.profiler is not None
+                else range(len(cascade.steps))
+            )
+            for step_position in order:
+                if not alive:
+                    break
+                step = cascade.steps[step_position]
+                unique_position = step_positions[step_position]
+                identity = step.frame_filter.identity
+                if identity not in predictions:
+                    predictions[identity] = step.frame_filter.predict(frame)
+                    computed.append(step.frame_filter.name)
+                    if charged:
+                        self.shared_filter_computations += 1
+                if identity not in counted:
+                    counted.add(identity)
+                    components.append(
+                        (step.frame_filter.name, step.frame_filter.latency_ms)
+                    )
+                if unique_position not in step_outcomes:
+                    step_outcomes[unique_position] = step.passes(predictions[identity])
+                step_stats[step_position] = (
+                    1,
+                    1 if step_outcomes[unique_position] else 0,
+                )
+                if not step_outcomes[unique_position]:
+                    alive = False
+            if charged and state.profiler is not None:
+                state.profiler.observe(step_stats, frame.index)
+            per_query[sid] = _SessionVerdict(
+                components=tuple(components), passed=alive, matched=False
+            )
+            if alive:
+                survivors.append(sid)
+        detector_ran = False
+        if survivors:
+            detections = self.detector.detect(frame)
+            detector_ran = True
+            if charged:
+                self.shared_detector_invocations += 1
+            for sid in survivors:
+                if evaluate_predicates_on_detections(self._states[sid].query, detections):
+                    entry = per_query[sid]
+                    per_query[sid] = _SessionVerdict(
+                        components=entry.components, passed=entry.passed, matched=True
+                    )
+        return _SessionTemporalOutcome(
+            per_query=per_query,
+            computed_components=tuple(computed),
+            detector_ran=detector_ran,
+        )
+
+    def _verify_frame(
+        self, frame: Frame, context: tuple[int, ...]
+    ) -> _SessionTemporalOutcome:
+        with clocks_detached(self._distinct_filters, self.detector):
+            return self._evaluate_frame(frame, context, charged=False)
+
+    def _reuse_charge(self, outcome: _SessionTemporalOutcome) -> None:
+        for component in outcome.computed_components:
+            self.clock.reuse(component)
+        self._filter_reuses += len(outcome.computed_components)
+        if outcome.detector_ran:
+            self.clock.reuse(self._detector_component)
+            self._detector_reuses += 1
+
+    def _apply_temporal_outcome(
+        self, index: int, outcome: _SessionTemporalOutcome
+    ) -> None:
+        for sid, entry in outcome.per_query.items():
+            state = self._states[sid]
+            state.scanned.append(index)
+            state.filter_invocations += len(entry.components)
+            for component in entry.components:
+                state.attributed[component] = state.attributed.get(component, 0) + 1
+            if entry.passed:
+                state.passed.append(index)
+            if entry.matched:
+                state.matched.append(index)
+
+    @property
+    def temporal_stats(self) -> TemporalStats:
+        """Session-lifetime gating telemetry (all zeros if never gated)."""
+        return with_component_reuses(
+            self._telemetry.freeze(), self._filter_reuses, self._detector_reuses
+        )
+
+    # ------------------------------------------------------------------
+    # Degraded mode
+    # ------------------------------------------------------------------
+    def set_degraded(self, degraded: bool) -> None:
+        """Enter/leave the temporal-approximate degraded mode.
+
+        Entering drains the parallel pipeline (degraded frames gate
+        sequentially); leaving drops the degrade gate so the next overload
+        starts from a fresh keyframe.  Idempotent.
+        """
+        if degraded == self.degraded:
+            return
+        self._drain_all()
+        self.degraded = degraded
+        if not degraded:
+            self._degrade_gate = None
+
+    # ------------------------------------------------------------------
+    # Budgets
+    # ------------------------------------------------------------------
+    def check_budgets(self, now: float | None = None) -> list[BudgetViolation]:
+        """Evaluate every active query's budget; returns *new* violations.
+
+        Each budget kind fires once per query (edge-triggered): the service
+        records the event and keeps running — SLA accounting, not a breaker.
+        """
+        now = now if now is not None else time.perf_counter()
+        fresh: list[BudgetViolation] = []
+        for sid in self.active_sids:
+            state = self._states[sid]
+            if state.budget is None:
+                continue
+            simulated_ms = sum(
+                latency * calls for (_, latency), calls in state.attributed.items()
+            ) + self._detector_latency * len(state.passed)
+            for violation in state.budget.violations(
+                label=state.key,
+                frames=len(state.scanned),
+                elapsed_seconds=max(now - state.registered_wall, 0.0),
+                simulated_ms=simulated_ms,
+                at_frame=self._watermark,
+            ):
+                if violation.kind in state.violated_kinds:
+                    continue
+                state.violated_kinds.add(violation.kind)
+                state.violations.append(violation)
+                fresh.append(violation)
+        return fresh
+
+    # ------------------------------------------------------------------
+    # Replanning
+    # ------------------------------------------------------------------
+    def replan(self) -> list[PlanRevision]:
+        """Re-plan every profiled query's step order from observed pass rates.
+
+        The manual counterpart of the engine's adaptive re-planner (the same
+        :func:`~repro.query.planner.replan_order` /
+        :func:`~repro.query.planner.expected_cascade_cost_ms` machinery that
+        :meth:`~repro.query.planner.QueryPlanner.replan` delegates to): a new
+        order is adopted when the observed rates say it is strictly cheaper,
+        and applies to chunks pushed after this call.
+        """
+        revisions: list[PlanRevision] = []
+        for sid in self.active_sids:
+            state = self._states[sid]
+            profiler = state.profiler
+            if profiler is None:
+                continue
+            rates = profiler.pass_rates()
+            latencies = [step.frame_filter.latency_ms for step in state.cascade.steps]
+            candidate = replan_order(latencies, rates)
+            if candidate == profiler.order:
+                continue
+            current_cost = expected_cascade_cost_ms(latencies, rates, profiler.order)
+            candidate_cost = expected_cascade_cost_ms(latencies, rates, candidate)
+            if candidate_cost <= 0.0 or current_cost <= candidate_cost:
+                continue
+            revision = PlanRevision(
+                at_frame=self._watermark,
+                old_order=tuple(profiler.order),
+                new_order=candidate,
+                step_names=tuple(step.name for step in state.cascade.steps),
+                observed_pass_rates=rates,
+                expected_gain=current_cost / candidate_cost,
+            )
+            profiler.revisions.append(revision)
+            profiler.order = candidate
+            revisions.append(revision)
+        return revisions
+
+    # ------------------------------------------------------------------
+    # Window emission (live mode)
+    # ------------------------------------------------------------------
+    def _emit_completed(self, state: QueryState) -> list["WindowResult"]:
+        if state.window is None or not self.live or state.windows_closed:
+            return []
+        out: list = []
+        size = state.window.size
+        advance = state.window.advance
+        while state.next_window_start + size <= self._watermark + 1:
+            bounds = WindowBounds(
+                start=state.next_window_start, stop=state.next_window_start + size
+            )
+            out.append(self._window_result(state, bounds))
+            state.next_window_start += advance
+        state.emitted_windows.extend(out)
+        return out
+
+    def _window_result(self, state: QueryState, bounds: WindowBounds) -> "WindowResult":
+        from repro.query.executor import WindowResult, WindowStats
+
+        lo = bisect_left(state.matched, bounds.start)
+        hi = bisect_left(state.matched, bounds.stop)
+        return WindowResult(
+            bounds=bounds,
+            matched_frames=tuple(state.matched[lo:hi]),
+            stats=WindowStats(
+                frames_scanned=_count_between(state.scanned, bounds),
+                frames_passed_filters=_count_between(state.passed, bounds),
+            ),
+        )
+
+    def _flush_windows(self, state: QueryState) -> list["WindowResult"]:
+        """Emit the tail window at end of coverage, matching ``windows_over``.
+
+        After the completed windows, at most one truncated window remains;
+        with ``include_partial`` it is emitted, otherwise the drop is warned
+        once per session (deduplicated across standing queries with the same
+        window geometry) — and, either way, no later start is materialised,
+        replicating the generator's break-after-partial rule.
+        """
+        if state.window is None or not self.live or state.windows_closed:
+            return []
+        out = self._emit_completed(state)
+        state.windows_closed = True
+        end = self._watermark + 1
+        start = state.next_window_start
+        if start < end:
+            if state.include_partial:
+                bounds = WindowBounds(start=start, stop=end)
+                tail = self._window_result(state, bounds)
+                state.emitted_windows.append(tail)
+                out.append(tail)
+            else:
+                warn_window_tail_drop(
+                    size=state.window.size,
+                    advance=state.window.advance,
+                    start=start,
+                    stop=end,
+                    num_frames=end,
+                    registry=self._warn_registry,
+                )
+        return out
+
+    # ------------------------------------------------------------------
+    # Finalisation
+    # ------------------------------------------------------------------
+    def _finalize_state(self, state: QueryState) -> "QueryExecutionResult":
+        from repro.query.executor import ExecutionStats, QueryExecutionResult
+
+        breakdown = CostBreakdown()
+        for (component, latency), calls in state.attributed.items():
+            breakdown.per_component_ms[component] = (
+                breakdown.per_component_ms.get(component, 0.0) + latency * calls
+            )
+            breakdown.per_component_calls[component] = (
+                breakdown.per_component_calls.get(component, 0) + calls
+            )
+        survivors = len(state.passed)
+        if survivors:
+            breakdown.per_component_ms[self._detector_component] = (
+                breakdown.per_component_ms.get(self._detector_component, 0.0)
+                + self._detector_latency * survivors
+            )
+            breakdown.per_component_calls[self._detector_component] = (
+                breakdown.per_component_calls.get(self._detector_component, 0)
+                + survivors
+            )
+        stats = ExecutionStats(
+            frames_scanned=len(state.scanned),
+            frames_passed_filters=survivors,
+            detector_invocations=survivors,
+            filter_invocations=state.filter_invocations,
+            simulated_cost=breakdown,
+            wall_clock_seconds=time.perf_counter() - state.registered_wall,
+            batch_size=None,
+            plan_revisions=(
+                tuple(state.profiler.revisions) if state.profiler is not None else ()
+            ),
+        )
+        return QueryExecutionResult(
+            query_name=state.query.name,
+            cascade_description=state.cascade.describe(),
+            matched_frames=tuple(state.matched),
+            stats=stats,
+            windows=(
+                tuple(state.emitted_windows) if state.window is not None else None
+            ),
+            temporal=(
+                self.temporal_stats
+                if (self._temporal is not None or self.degraded_frames)
+                else None
+            ),
+        )
+
+    def finish(self) -> dict[int, "QueryExecutionResult"]:
+        """Drain, flush every active query's tail window, finalise and close.
+
+        Returns sid → result for the queries still registered; queries
+        removed earlier keep the result :meth:`remove_query` returned (also
+        available as ``states[sid].final``).
+        """
+        self._drain_all()
+        results: dict[int, "QueryExecutionResult"] = {}
+        for state in self._states:
+            if not state.active:
+                continue
+            self._flush_windows(state)
+            state.final = self._finalize_state(state)
+            results[state.sid] = state.final
+        self.close()
+        return results
+
+    def shared_cost_report(self):
+        """A :class:`~repro.cost.SharedCostReport` over the session so far.
+
+        ``shared`` is the clock delta since the session started; attribution
+        covers *every* query ever registered (removed queries keep the cost
+        they accrued), labelled as ``execute_many`` labels duplicates.
+        """
+        from repro.cost import SharedCostReport
+        from repro.query.executor import _unique_query_labels
+
+        labels = _unique_query_labels([state.query for state in self._states])
+        attributed: dict[str, CostBreakdown] = {}
+        for state, label in zip(self._states, labels):
+            breakdown = CostBreakdown()
+            for (component, latency), calls in state.attributed.items():
+                breakdown.per_component_ms[component] = (
+                    breakdown.per_component_ms.get(component, 0.0) + latency * calls
+                )
+                breakdown.per_component_calls[component] = (
+                    breakdown.per_component_calls.get(component, 0) + calls
+                )
+            survivors = len(state.passed)
+            if survivors:
+                breakdown.per_component_ms[self._detector_component] = (
+                    breakdown.per_component_ms.get(self._detector_component, 0.0)
+                    + self._detector_latency * survivors
+                )
+                breakdown.per_component_calls[self._detector_component] = (
+                    breakdown.per_component_calls.get(self._detector_component, 0)
+                    + survivors
+                )
+            attributed[label] = breakdown
+        return SharedCostReport(
+            shared=self.clock.delta_since(self._cost_baseline), attributed=attributed
+        )
+
+    def close(self) -> None:
+        """Tear down the backend and restore every clock.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._drain_all()
+        finally:
+            if self._backend is not None:
+                self._backend.close()
+                self._backend = None
+            for frame_filter, previous in self._attached:
+                frame_filter.clock = previous
+            self._attached = []
+            if self._detector_attached:
+                self.detector.clock = self._detector_prev_clock
+                self._detector_attached = False
+
+    def __enter__(self) -> "ScanSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _temporal_verdict(outcome: _SessionTemporalOutcome) -> tuple:
+    """The gate-comparison verdict of a session temporal outcome."""
+    return tuple(
+        (sid, entry.passed, entry.matched)
+        for sid, entry in sorted(outcome.per_query.items())
+    )
+
+
+def _observer_config(base: ParallelConfig | None) -> ParallelConfig:
+    """A profiler config that records observations but never auto-revises.
+
+    ``CascadeProfiler.observe`` is a no-op unless the config is adaptive, so
+    observe-only profiling (driving the *manual* :meth:`ScanSession.replan`)
+    uses an adaptive config whose consideration interval is unreachable.  A
+    genuinely adaptive caller config is used as-is — the engine's mid-stream
+    auto-revision semantics then apply.
+    """
+    if base is not None and base.adaptive:
+        return base
+    window = base.adaptive_window if base is not None else 32
+    return ParallelConfig(
+        adaptive=True, adaptive_window=window, adaptive_interval=1_000_000_000
+    )
+
+
+def _count_between(values: list[int], bounds: WindowBounds) -> int:
+    """Count entries of a sorted list that fall inside half-open ``bounds``."""
+    return bisect_left(values, bounds.stop) - bisect_left(values, bounds.start)

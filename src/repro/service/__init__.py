@@ -1,0 +1,42 @@
+"""Standing-query monitoring service (ROADMAP item 1: always-on queries).
+
+The package turns the one-shot query engine into a long-running service:
+
+* :mod:`repro.service.service` — :class:`QueryService`: named live streams,
+  runtime register/deregister, per-stream shard workers, incremental
+  emission, SLA accounting, backpressure.
+* :mod:`repro.service.registry` — :class:`QueryRegistry`: lock-guarded
+  standing-query membership (INV008).
+* :mod:`repro.service.ingest` — :class:`IngestionQueue`: bounded queues with
+  the ``block`` / ``drop_oldest`` / ``degrade`` backpressure policies.
+* :mod:`repro.service.emitters` — :class:`Emission` and the pluggable sinks.
+
+The scan machinery itself lives in :class:`repro.query.session.ScanSession`
+(the executor's chunk pipeline, extracted); this package only adds the
+always-on plumbing around it.
+"""
+
+from repro.service.emitters import BufferEmitter, CallbackEmitter, Emission, Emitter
+from repro.service.ingest import POLICIES, IngestionQueue
+from repro.service.registry import QueryRegistry, StandingQuery
+from repro.service.service import (
+    QueryService,
+    ServiceStats,
+    StreamConfig,
+    StreamStats,
+)
+
+__all__ = [
+    "BufferEmitter",
+    "CallbackEmitter",
+    "Emission",
+    "Emitter",
+    "IngestionQueue",
+    "POLICIES",
+    "QueryRegistry",
+    "QueryService",
+    "ServiceStats",
+    "StandingQuery",
+    "StreamConfig",
+    "StreamStats",
+]

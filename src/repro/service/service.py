@@ -1,0 +1,538 @@
+"""The standing-query monitoring service.
+
+:class:`QueryService` runs always-on queries against named live streams.
+Each attached stream is one *shard*: a bounded ingestion queue, one worker
+thread, and a live :class:`~repro.query.session.ScanSession` that holds the
+shard's scan state.  Queries register and deregister at runtime — the
+session recomputes the cross-query dedup plan
+(:func:`~repro.query.planner.merge_cascade_steps`) on every membership
+change — and every incremental event (new matches, completed windows,
+budget violations, final results) is pushed to the configured emitters.
+
+The execution semantics are exactly the one-shot engine's: a finite stream
+replayed chunk-by-chunk through the service produces bit-identical
+per-query results to ``execute_many``, because the chunk pipeline *is* the
+executor's, extracted into the session (see ``repro/query/session.py``).
+The service adds what one-shot execution cannot express: arrival, churn,
+backpressure (see ``repro/service/ingest.py``) and per-query SLA accounting
+(:class:`~repro.cost.QueryBudget`).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from repro.cost import BudgetViolation, QueryBudget, SimulatedClock
+from repro.detection.base import Detector
+from repro.query.ast import Query
+from repro.query.parallel import ParallelConfig, PlanRevision
+from repro.query.planner import FilterCascade
+from repro.query.session import ScanSession
+from repro.query.temporal import TemporalConfig
+from repro.service.emitters import Emission, Emitter, deliver
+from repro.service.ingest import IngestionQueue
+from repro.service.registry import QueryRegistry, StandingQuery
+from repro.video.stream import Frame
+
+#: results of closing a stream: handle -> final execution result
+StreamResults = Mapping[int, "object"]
+
+
+@dataclass(frozen=True)
+class StreamConfig:
+    """Per-stream execution and ingestion settings.
+
+    ``chunk_size`` is the scan granularity (``feed`` re-chunks arbitrary
+    frame batches to it); ``queue_chunks`` bounds the ingestion queue and
+    ``policy`` picks the backpressure behaviour (``"block"`` /
+    ``"drop_oldest"`` / ``"degrade"``).  ``temporal`` / ``parallel`` /
+    ``profile`` configure the shard's scan session exactly as they configure
+    the one-shot executor; ``degrade`` is the approximate
+    :class:`~repro.query.temporal.TemporalConfig` applied while the
+    ``degrade`` policy has the shard in its degraded episode.
+    """
+
+    chunk_size: int = 16
+    queue_chunks: int = 8
+    policy: str = "block"
+    temporal: TemporalConfig | None = None
+    parallel: ParallelConfig | None = None
+    profile: bool = False
+    degrade: TemporalConfig | None = None
+
+    def __post_init__(self) -> None:
+        if self.chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {self.chunk_size}")
+        if self.queue_chunks <= 0:
+            raise ValueError(f"queue_chunks must be positive, got {self.queue_chunks}")
+
+
+@dataclass(frozen=True)
+class StreamStats:
+    """A point-in-time snapshot of one stream shard."""
+
+    stream: str
+    active_queries: int
+    chunks_ingested: int
+    frames_ingested: int
+    chunks_processed: int
+    queue_depth: int
+    queue_high_water: int
+    dropped_chunks: int
+    degrade_events: int
+    degraded: bool
+    degraded_chunks: int
+    degraded_frames: int
+    unique_steps: int
+    total_steps: int
+    watermark: int
+    violations: tuple[BudgetViolation, ...]
+    emitter_errors: int
+
+
+@dataclass(frozen=True)
+class ServiceStats:
+    """Service-wide snapshot: per-stream stats plus the roll-ups."""
+
+    streams: dict[str, StreamStats] = field(default_factory=dict)
+
+    @property
+    def active_queries(self) -> int:
+        return sum(stats.active_queries for stats in self.streams.values())
+
+    @property
+    def violations(self) -> tuple[BudgetViolation, ...]:
+        out: list[BudgetViolation] = []
+        for stats in self.streams.values():
+            out.extend(stats.violations)
+        return tuple(out)
+
+    @property
+    def degrade_events(self) -> int:
+        return sum(stats.degrade_events for stats in self.streams.values())
+
+    @property
+    def dropped_chunks(self) -> int:
+        return sum(stats.dropped_chunks for stats in self.streams.values())
+
+
+class _StreamShard:
+    """One stream's queue + worker + scan session (internal)."""
+
+    def __init__(
+        self,
+        name: str,
+        detector: Detector,
+        config: StreamConfig,
+        registry: QueryRegistry,
+        service_emitters: Sequence[Emitter],
+        clock: SimulatedClock | None,
+    ) -> None:
+        self.name = name
+        self.config = config
+        self.session = ScanSession(
+            detector,
+            clock,
+            live=True,
+            temporal=config.temporal,
+            parallel=config.parallel,
+            profile=config.profile,
+            degrade=config.degrade,
+        )
+        self.queue = IngestionQueue(config.queue_chunks, config.policy)
+        self.lock = threading.RLock()
+        self._registry = registry
+        self._service_emitters = service_emitters
+        self._sid_to_handle: dict[int, int] = {}
+        self._thread: threading.Thread | None = None
+        self.chunks_ingested = 0
+        self.frames_ingested = 0
+        self.chunks_processed = 0
+        self.degraded_chunks = 0
+        self.emitter_errors = 0
+        self.violations: list[BudgetViolation] = []
+
+    # -- membership (called by the service, shard lock serialises vs scan) --
+    def admit(self, entry: StandingQuery) -> None:
+        with self.lock:
+            entry.sid = self.session.add_query(
+                entry.query,
+                entry.cascade,
+                budget=entry.budget,
+                key=entry.key,
+                include_partial_windows=entry.include_partial_windows,
+            )
+            self._sid_to_handle[entry.sid] = entry.handle
+
+    def evict(self, entry: StandingQuery):
+        with self.lock:
+            emitted_before = len(self.session.states[entry.sid].emitted_windows)
+            result = self.session.remove_query(entry.sid)
+            del self._sid_to_handle[entry.sid]
+            self._emit_tail_windows(entry, result, emitted_before)
+            self._deliver(
+                Emission(
+                    stream=self.name,
+                    key=entry.key,
+                    handle=entry.handle,
+                    kind="result",
+                    watermark=self.session.watermark,
+                    result=result,
+                ),
+                entry,
+            )
+            return result
+
+    # -- ingestion -------------------------------------------------------
+    def feed(self, frames: Sequence[Frame]) -> int:
+        """Re-chunk and ingest ``frames``; returns chunks accepted."""
+        accepted = 0
+        size = self.config.chunk_size
+        for start in range(0, len(frames), size):
+            chunk = list(frames[start : start + size])
+            if self._thread is None:
+                self._process_chunk(chunk)
+            elif not self.queue.put(chunk):
+                break
+            accepted += 1
+            self.chunks_ingested += 1
+            self.frames_ingested += len(chunk)
+        return accepted
+
+    def _worker_loop(self) -> None:
+        while True:
+            chunk = self.queue.get()
+            if chunk is None:
+                return
+            self._process_chunk(chunk)
+
+    def _process_chunk(self, frames: Sequence[Frame]) -> None:
+        with self.lock:
+            if self.queue.policy == "degrade":
+                requested = self.queue.degrade_requested
+                if requested != self.session.degraded:
+                    self.session.set_degraded(requested)
+            progress = self.session.push_chunk(frames)
+            if self.session.degraded:
+                self.degraded_chunks += 1
+            self.chunks_processed += 1
+            self._emit_progress(progress)
+            self._check_budgets()
+
+    # -- emission --------------------------------------------------------
+    def _entry_for_sid(self, sid: int) -> StandingQuery | None:
+        handle = self._sid_to_handle.get(sid)
+        if handle is None:
+            return None
+        return self._registry.get(handle)
+
+    def _deliver(self, emission: Emission, entry: StandingQuery | None) -> None:
+        emitters: list[Emitter] = list(self._service_emitters)
+        if entry is not None and entry.emitter is not None:
+            emitters.append(entry.emitter)
+        self.emitter_errors += deliver(emitters, emission)
+
+    def _emit_progress(self, progress) -> None:
+        for sid, matches in progress.new_matches.items():
+            entry = self._entry_for_sid(sid)
+            if entry is None:
+                continue
+            self._deliver(
+                Emission(
+                    stream=self.name,
+                    key=entry.key,
+                    handle=entry.handle,
+                    kind="matches",
+                    watermark=progress.watermark,
+                    matched_frames=matches,
+                ),
+                entry,
+            )
+        for sid, windows in progress.new_windows.items():
+            entry = self._entry_for_sid(sid)
+            if entry is None:
+                continue
+            for window in windows:
+                self._deliver(
+                    Emission(
+                        stream=self.name,
+                        key=entry.key,
+                        handle=entry.handle,
+                        kind="window",
+                        watermark=progress.watermark,
+                        window=window,
+                    ),
+                    entry,
+                )
+
+    def _emit_tail_windows(self, entry: StandingQuery, result, emitted_before: int) -> None:
+        """Emit windows flushed at finalisation (the truncated tail, if any).
+
+        Windows completed during the scan were emitted incrementally from
+        ``_emit_progress``; finalisation may flush at most one more partial
+        window, and it must reach the emitters exactly once too.
+        """
+        windows = getattr(result, "windows", None)
+        if not windows:
+            return
+        for window in windows[emitted_before:]:
+            self._deliver(
+                Emission(
+                    stream=self.name,
+                    key=entry.key,
+                    handle=entry.handle,
+                    kind="window",
+                    watermark=self.session.watermark,
+                    window=window,
+                ),
+                entry,
+            )
+
+    def _check_budgets(self) -> None:
+        fresh = self.session.check_budgets()
+        if not fresh:
+            return
+        self.violations.extend(fresh)
+        for violation in fresh:
+            entry = None
+            for state in self.session.states:
+                if any(existing is violation for existing in state.violations):
+                    entry = self._entry_for_sid(state.sid)
+                    break
+            self._deliver(
+                Emission(
+                    stream=self.name,
+                    key=violation.label,
+                    handle=entry.handle if entry is not None else -1,
+                    kind="violation",
+                    watermark=self.session.watermark,
+                    violation=violation,
+                ),
+                entry,
+            )
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._worker_loop, name=f"query-service-{self.name}", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self, drain: bool = True) -> None:
+        self.queue.close(drain=drain)
+        if self._thread is not None:
+            self._thread.join()
+            self._thread = None
+
+    def finish(self) -> dict[int, object]:
+        """Stop ingestion, drain, finalise every remaining query."""
+        self.stop(drain=True)
+        results: dict[int, object] = {}
+        with self.lock:
+            emitted_before = {
+                state.sid: len(state.emitted_windows) for state in self.session.states
+            }
+            for sid, result in self.session.finish().items():
+                entry = self._entry_for_sid(sid)
+                if entry is None:
+                    continue
+                results[entry.handle] = result
+                self._emit_tail_windows(entry, result, emitted_before[sid])
+                self._deliver(
+                    Emission(
+                        stream=self.name,
+                        key=entry.key,
+                        handle=entry.handle,
+                        kind="result",
+                        watermark=self.session.watermark,
+                        result=result,
+                    ),
+                    entry,
+                )
+            self._sid_to_handle.clear()
+        return results
+
+    def replan(self) -> list[PlanRevision]:
+        with self.lock:
+            return self.session.replan()
+
+    def stats(self) -> StreamStats:
+        with self.lock:
+            queue = self.queue.snapshot()
+            return StreamStats(
+                stream=self.name,
+                active_queries=len(self.session.active_sids),
+                chunks_ingested=self.chunks_ingested,
+                frames_ingested=self.frames_ingested,
+                chunks_processed=self.chunks_processed,
+                queue_depth=int(queue["depth"]),
+                queue_high_water=int(queue["high_water"]),
+                dropped_chunks=int(queue["dropped_chunks"]),
+                degrade_events=int(queue["degrade_events"]),
+                degraded=self.session.degraded,
+                degraded_chunks=self.degraded_chunks,
+                degraded_frames=self.session.degraded_frames,
+                unique_steps=self.session.unique_step_count,
+                total_steps=self.session.total_step_count,
+                watermark=self.session.watermark,
+                violations=tuple(self.violations),
+                emitter_errors=self.emitter_errors,
+            )
+
+
+class QueryService:
+    """Register standing queries on live streams; collect incremental results.
+
+    Quickstart::
+
+        service = QueryService(emitters=[buffer := BufferEmitter()])
+        service.attach_stream("lobby", detector)
+        handle = service.register("lobby", query, cascade)
+        service.start()
+        for batch in arriving_batches:
+            service.feed("lobby", batch)
+        results = service.close()            # handle -> QueryExecutionResult
+        windows = buffer.windows(handle)     # incremental window emissions
+    """
+
+    def __init__(self, emitters: Sequence[Emitter] = ()) -> None:
+        self.registry = QueryRegistry()
+        self._emitters = list(emitters)
+        self._shards: dict[str, _StreamShard] = {}
+        self._started = False
+
+    # -- streams ---------------------------------------------------------
+    def attach_stream(
+        self,
+        name: str,
+        detector: Detector,
+        config: StreamConfig | None = None,
+        *,
+        clock: SimulatedClock | None = None,
+    ) -> None:
+        """Attach a named live stream; queries register against it by name."""
+        if name in self._shards:
+            raise ValueError(f"stream {name!r} is already attached")
+        shard = _StreamShard(
+            name, detector, config or StreamConfig(), self.registry,
+            self._emitters, clock,
+        )
+        self._shards[name] = shard
+        if self._started:
+            shard.start()
+
+    def _shard(self, name: str) -> _StreamShard:
+        try:
+            return self._shards[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown stream {name!r}; attached: {sorted(self._shards)}"
+            ) from None
+
+    # -- standing queries ------------------------------------------------
+    def register(
+        self,
+        stream: str,
+        query: Query,
+        cascade: FilterCascade | None = None,
+        *,
+        key: str | None = None,
+        budget: QueryBudget | None = None,
+        emitter: Emitter | None = None,
+        include_partial_windows: bool = True,
+    ) -> int:
+        """Register a standing query on ``stream``; returns its handle.
+
+        The query starts covering frames from the stream's *current*
+        watermark — it observes nothing retroactively.  ``emitter`` (if
+        given) receives this query's emissions in addition to the
+        service-wide emitters.
+        """
+        shard = self._shard(stream)
+        entry = self.registry.add(
+            dict(
+                stream=stream,
+                key=key if key is not None else query.name,
+                query=query,
+                cascade=cascade if cascade is not None else FilterCascade(),
+                budget=budget,
+                emitter=emitter,
+                include_partial_windows=include_partial_windows,
+            )
+        )
+        shard.admit(entry)
+        return entry.handle
+
+    def deregister(self, handle: int):
+        """Remove a standing query; flushes its tail window, returns its result."""
+        entry = self.registry.get(handle)
+        result = self._shard(entry.stream).evict(entry)
+        self.registry.remove(handle)
+        return result
+
+    # -- ingestion -------------------------------------------------------
+    def feed(self, stream: str, frames: Sequence[Frame]) -> int:
+        """Ingest ``frames`` into ``stream``; returns the chunks accepted.
+
+        Before :meth:`start` the frames are processed synchronously on the
+        caller's thread (deterministic replay mode — what the parity tests
+        use); after it they are enqueued for the shard worker per the
+        stream's backpressure policy.
+        """
+        return self._shard(stream).feed(frames)
+
+    # -- lifecycle -------------------------------------------------------
+    def start(self) -> None:
+        """Start one ingestion worker per attached stream."""
+        self._started = True
+        for shard in self._shards.values():
+            shard.start()
+
+    def stop(self, drain: bool = True) -> None:
+        """Stop the workers (draining queued chunks by default)."""
+        self._started = False
+        for shard in self._shards.values():
+            shard.stop(drain=drain)
+
+    def close_stream(self, name: str) -> dict[int, object]:
+        """Detach a stream, finalising its remaining queries (handle → result)."""
+        shard = self._shard(name)
+        results = shard.finish()
+        for handle in self.registry.handles_for(name):
+            self.registry.remove(handle)
+        del self._shards[name]
+        return results
+
+    def close(self) -> dict[int, object]:
+        """Close every stream; returns handle → final result for all of them."""
+        results: dict[int, object] = {}
+        for name in list(self._shards):
+            results.update(self.close_stream(name))
+        self._started = False
+        return results
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection ---------------------------------------------------
+    def replan(self, stream: str) -> list[PlanRevision]:
+        """Re-plan the stream's profiled cascades from observed pass rates."""
+        return self._shard(stream).replan()
+
+    def shared_cost_report(self, stream: str):
+        """The stream shard's :class:`~repro.cost.SharedCostReport` so far."""
+        shard = self._shard(stream)
+        with shard.lock:
+            return shard.session.shared_cost_report()
+
+    def stats(self) -> ServiceStats:
+        return ServiceStats(
+            streams={name: shard.stats() for name, shard in self._shards.items()}
+        )

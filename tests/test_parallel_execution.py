@@ -590,3 +590,87 @@ def test_merge_cascade_steps_order_independent(planner):
     # Sorted by (cost, name, signature): latencies ascend.
     latencies = [step.frame_filter.latency_ms for step in forward_steps]
     assert latencies == sorted(latencies)
+
+
+# ----------------------------------------------------------------------
+# Satellite: prefetcher shutdown on error paths (no leaked threads)
+# ----------------------------------------------------------------------
+class _FaultyStream:
+    """Delegates to a real stream but raises when rendering one frame."""
+
+    def __init__(self, base, fail_at):
+        self._base = base
+        self._fail_at = fail_at
+
+    def __len__(self):
+        return len(self._base)
+
+    def frame(self, index):
+        if index == self._fail_at:
+            raise RuntimeError(f"injected decode failure at frame {index}")
+        return self._base.frame(index)
+
+    def __getattr__(self, name):
+        return getattr(self._base, name)
+
+
+def _live_prefetch_threads():
+    return [
+        thread
+        for thread in threading.enumerate()
+        if thread.is_alive()
+        and not thread.daemon
+        and ("decode-ahead" in thread.name or "filter-worker" in thread.name)
+    ]
+
+
+@pytest.mark.parametrize("fail_at", [0, 30])
+def test_chunk_failure_does_not_leak_prefetch_threads(
+    planner, stream, tiny_jackson, fail_at
+):
+    query = count_query()
+    faulty = _FaultyStream(stream, fail_at=fail_at)
+    config = ParallelConfig(num_workers=2, backend="thread", chunk_size=8)
+    with pytest.raises(RuntimeError, match="injected decode failure"):
+        executor(tiny_jackson).execute(query, faulty, planner.plan(query), parallel=config)
+    assert _live_prefetch_threads() == []
+
+
+def test_temporal_chunk_failure_does_not_leak_prefetch_threads(
+    planner, stream, tiny_jackson
+):
+    query = count_query()
+    faulty = _FaultyStream(stream, fail_at=20)
+    with pytest.raises(RuntimeError, match="injected decode failure"):
+        executor(tiny_jackson).execute(
+            query, faulty, planner.plan(query), temporal=TemporalConfig(exact=True)
+        )
+    assert _live_prefetch_threads() == []
+
+
+def test_execute_many_chunk_failure_does_not_leak_prefetch_threads(
+    planner, stream, tiny_jackson
+):
+    queries = [count_query("q0"), mixed_query("q1")]
+    cascades = [planner.plan(query) for query in queries]
+    faulty = _FaultyStream(stream, fail_at=25)
+    config = ParallelConfig(num_workers=2, backend="thread", chunk_size=8)
+    with pytest.raises(RuntimeError, match="injected decode failure"):
+        executor(tiny_jackson).execute_many(queries, faulty, cascades, parallel=config)
+    assert _live_prefetch_threads() == []
+
+
+def test_prefetcher_close_is_idempotent(stream):
+    from repro.query.parallel import ChunkPrefetcher, FramePrefetcher
+
+    chunks = [list(range(0, 8)), list(range(8, 16))]
+    chunked = ChunkPrefetcher(stream, chunks, depth=1, threads=1)
+    assert [frame.index for frame in chunked.get(0)] == chunks[0]
+    chunked.close()
+    chunked.close()  # second close is a no-op, not an error
+
+    framed = FramePrefetcher(stream, list(range(8)), depth=4, threads=1)
+    assert framed.frame(0).index == 0
+    framed.close()
+    framed.close()
+    assert _live_prefetch_threads() == []

@@ -293,3 +293,34 @@ def test_evaluate_samples_batched_matches_per_frame_loop(trained_od_filter, tiny
         detections = reference_detector.detect(frame)
         assert exact_values[row] == spec.exact_value(detections)
         assert controls[row, 0] == control(prediction)
+
+
+def test_window_tail_drop_warning_deduplicates_per_registry():
+    """A shared ``warn_registry`` collapses repeated tail-drop warnings.
+
+    A scan loop evaluates the same window spec once per chunk; without the
+    registry every evaluation re-warns about the same dropped tail.
+    """
+    from repro.aggregates.windows import HoppingWindow
+    from repro.analysis import WindowTailDropWarning
+
+    window = HoppingWindow(size=20, advance=10)
+
+    # Without a registry: each evaluation warns about the dropped tail.
+    with pytest.warns(WindowTailDropWarning) as caught:
+        list(window.windows_over(50))
+        list(window.windows_over(50))
+    assert len(caught) == 2
+
+    # With a shared registry: one warning per distinct dropped tail per scan.
+    registry: set = set()
+    with pytest.warns(WindowTailDropWarning) as caught:
+        list(window.windows_over(50, warn_registry=registry))
+        list(window.windows_over(50, warn_registry=registry))
+    assert len(caught) == 1
+
+    # A different tail shape still warns (distinct key), once.
+    with pytest.warns(WindowTailDropWarning) as caught:
+        list(window.windows_over(55, warn_registry=registry))
+        list(window.windows_over(55, warn_registry=registry))
+    assert len(caught) == 1

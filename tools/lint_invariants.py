@@ -38,6 +38,13 @@ script exits non-zero when any rule is violated.
   every *use* of that global sits inside an ``if <hook> is not None:``
   body — so the uninstrumented hot paths never pay an attribute call, and
   ``sanitize=None`` runs are bit-identical to the pre-sanitizer engine.
+* **INV008 — registry membership is only mutated under the registry lock.**
+  In ``repro/service/registry.py`` every mutation of ``self._entries`` /
+  ``self._by_stream`` (assignment, ``del``, or a mutator method call) must
+  sit inside a ``with self._lock:`` body (or ``__init__``): the standing-
+  query service mutates membership from the caller thread while shard
+  workers read it from ``_entry_for_sid``, so an unlocked mutation is a
+  data race on live emission routing.
 """
 
 from __future__ import annotations
@@ -274,6 +281,76 @@ def check_sanitizer_hooks_guarded(findings: list[str]) -> None:
             )
 
 
+#: the registry containers whose mutations INV008 requires the lock around
+REGISTRY = SRC / "service" / "registry.py"
+REGISTRY_CONTAINERS = {"_entries", "_by_stream"}
+#: container methods that mutate in place (reads like .get/.items need no lock
+#: *here* — the registry's read methods take it anyway for consistency)
+MUTATOR_METHODS = {
+    "append", "extend", "insert", "remove", "pop", "popitem", "clear",
+    "setdefault", "update", "add", "discard",
+}
+
+
+def _is_registry_container(node: ast.expr) -> bool:
+    """``self._entries`` / ``self._by_stream``, possibly via a subscript."""
+    while isinstance(node, ast.Subscript):
+        node = node.value
+    return (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+        and node.attr in REGISTRY_CONTAINERS
+    )
+
+
+def check_registry_mutation_locked(findings: list[str]) -> None:
+    tree = _parse(REGISTRY)
+
+    allowed_spans: list[tuple[int, int]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.FunctionDef) and node.name == "__init__":
+            allowed_spans.append((node.lineno, node.end_lineno or node.lineno))
+        if isinstance(node, ast.With):
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and expr.attr == "_lock"
+                ):
+                    allowed_spans.append(
+                        (node.body[0].lineno, node.body[-1].end_lineno or node.lineno)
+                    )
+
+    def _locked(lineno: int) -> bool:
+        return any(start <= lineno <= end for start, end in allowed_spans)
+
+    for node in ast.walk(tree):
+        mutations: list[ast.expr] = []
+        for target in _assignment_targets(node):
+            if _is_registry_container(target):
+                mutations.append(target)
+        if isinstance(node, ast.Delete):
+            mutations.extend(t for t in node.targets if _is_registry_container(t))
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in MUTATOR_METHODS
+            and _is_registry_container(node.func.value)
+        ):
+            mutations.append(node.func)
+        for mutation in mutations:
+            if _locked(node.lineno):
+                continue
+            findings.append(
+                f"INV008 {REGISTRY.relative_to(REPO)}:{node.lineno}: registry "
+                "membership mutated outside `with self._lock:` — shard "
+                "workers read membership concurrently"
+            )
+
+
 def main() -> int:
     findings: list[str] = []
     check_planner_checks_frozen(findings)
@@ -283,6 +360,7 @@ def main() -> int:
     check_readme_code_table(findings)
     check_analyzer_codes_registered(findings)
     check_sanitizer_hooks_guarded(findings)
+    check_registry_mutation_locked(findings)
     if findings:
         for finding in findings:
             print(finding)
