@@ -1,0 +1,216 @@
+"""Chaos soak benchmark: recovery overhead of self-healing execution.
+
+Runs the standing-query soak (two streams, eight queries, one stream on
+the supervised process-backend parallel engine) twice — once clean, once
+under a seeded :class:`~repro.faults.FaultInjector` that fires a
+recoverable fault at every site (decode, filter, detector, process-worker
+crash, worker stall, queue stall, emitter raise, shard crash) — and
+reports the wall-clock overhead the recovery machinery pays.
+
+The assertions pin the zero-loss contract: every scheduled fault fires,
+nothing is quarantined or dropped, every chunk is processed, and the
+chaos run's per-query results are bit-identical to the clean run's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import warnings
+
+from benchmarks.conftest import print_rows, write_bench_json
+from repro.faults import FaultInjector, RetryPolicy
+from repro.query import ParallelConfig, PlannerConfig, QueryBuilder, QueryPlanner
+from repro.service import BufferEmitter, QueryService, StreamConfig
+
+STREAMS = ("north", "south")
+QUERIES_PER_STREAM = 4
+CHUNK_SIZE = 8
+QUEUE_CHUNKS = 4
+TOTAL_FRAMES = 240
+FEED_BATCH = 24
+CHAOS_RETRY = RetryPolicy(max_attempts=3, backoff_ms=1.0, backoff_factor=2.0)
+STALL_SECONDS = 1.2
+WORKER_TIMEOUT_SECONDS = 0.5
+
+#: One recoverable fault per site (no poison: this benchmark pins the
+#: zero-loss path; quarantine behaviour is covered by the test suite).
+CHAOS_SCHEDULE = {
+    ("decode", 7): 1,
+    ("filter", 16): 1,
+    ("detector", 37): 1,
+    ("worker_crash", 3): 1,
+    ("worker_stall", 11): 1,
+    ("queue_stall", 2): 1,
+    ("emitter", 6): 1,
+    ("shard_crash", "north:12"): 1,
+}
+
+
+def _looped_frames(stream, total):
+    base = [stream.frame(index) for index in range(len(stream))]
+    return [
+        dataclasses.replace(base[index % len(base)], index=index)
+        for index in range(total)
+    ]
+
+
+def _one_pass(context, planner) -> dict[str, object]:
+    """One soak pass under whatever injector is (or is not) installed."""
+    service = QueryService(emitters=[BufferEmitter()])
+    parallel = ParallelConfig(
+        num_workers=2,
+        backend="process",
+        chunk_size=CHUNK_SIZE,
+        supervise=True,
+        worker_timeout_seconds=WORKER_TIMEOUT_SECONDS,
+    )
+    handles: dict[str, list[int]] = {}
+    for name in STREAMS:
+        service.attach_stream(
+            name,
+            context.reference_detector(seed_offset=800),
+            StreamConfig(
+                chunk_size=CHUNK_SIZE,
+                queue_chunks=QUEUE_CHUNKS,
+                policy="block",
+                parallel=parallel if name == "south" else None,
+            ),
+        )
+        handles[name] = []
+        for position in range(QUERIES_PER_STREAM):
+            query = (
+                QueryBuilder(f"{name}_q{position}")
+                .count("car").at_least(1 + position % 2)
+                .build()
+            )
+            # north_q0 runs cascade-free so the detector-site fault surely
+            # targets a frame that reaches the detector.
+            cascade = (
+                None if (name, position) == ("north", 0) else planner.plan(query)
+            )
+            handles[name].append(service.register(name, query, cascade))
+
+    frames = _looped_frames(context.dataset.test, TOTAL_FRAMES)
+    service.start()
+    started = time.perf_counter()
+    for start in range(0, TOTAL_FRAMES, FEED_BATCH):
+        batch = frames[start : start + FEED_BATCH]
+        for name in STREAMS:
+            service.feed(name, batch)
+    service.stop(drain=True)
+    wall_seconds = time.perf_counter() - started
+
+    stats = {name: service.stats().streams[name] for name in STREAMS}
+    results = service.close()
+    simulated_ms = sum(
+        results[handle].stats.simulated_cost.total_ms
+        for name in STREAMS
+        for handle in handles[name]
+    )
+    for name in STREAMS:
+        assert stats[name].chunks_processed == TOTAL_FRAMES // CHUNK_SIZE
+        assert stats[name].dropped_chunks == 0
+        assert stats[name].quarantined_chunks == 0  # zero loss
+        assert stats[name].queue_depth == 0
+    return {
+        "wall_s": wall_seconds,
+        "simulated_ms": simulated_ms,
+        "matched": {
+            name: [results[handle].matched_frames for handle in handles[name]]
+            for name in STREAMS
+        },
+        "scanned": {
+            name: [results[handle].stats.frames_scanned for handle in handles[name]]
+            for name in STREAMS
+        },
+    }
+
+
+def run(config) -> dict[str, object]:
+    from repro.experiments.context import get_context
+
+    context = get_context("jackson", config)
+    planner = QueryPlanner(context.filters, PlannerConfig(count_tolerance=1))
+
+    clean = _one_pass(context, planner)
+    injector = FaultInjector(
+        seed=11, schedule=CHAOS_SCHEDULE, stall_seconds=STALL_SECONDS,
+        retry=CHAOS_RETRY,
+    )
+    with warnings.catch_warnings():
+        # The injected emitter raise warns once by design; a benchmark run
+        # is not the place to surface it.
+        warnings.simplefilter("ignore", RuntimeWarning)
+        with injector:
+            chaos = _one_pass(context, planner)
+
+    # Every scheduled fault fired, and recovery was bit-exact.
+    assert injector.unfired() == ()
+    report = injector.report()
+    assert report.exhausted == 0
+    assert report.respawns >= 2 and report.redispatches >= 2
+    assert chaos["matched"] == clean["matched"]
+    assert chaos["scanned"] == clean["scanned"]
+
+    return {
+        "streams": len(STREAMS),
+        "standing_queries": len(STREAMS) * QUERIES_PER_STREAM,
+        "frames": TOTAL_FRAMES * len(STREAMS),
+        "faults_injected": report.injected_count,
+        "retries": report.retries,
+        "recovered": report.recovered,
+        "respawns": report.respawns,
+        "redispatches": report.redispatches,
+        "backoff_ms": round(report.backoff_ms, 3),
+        "clean_wall_s": round(clean["wall_s"], 3),
+        "chaos_wall_s": round(chaos["wall_s"], 3),
+        "overhead_x": round(chaos["wall_s"] / clean["wall_s"], 3),
+        "simulated_s": round(chaos["simulated_ms"] / 1000.0, 2),
+    }
+
+
+def format_rows(result: dict[str, object]) -> str:
+    return "\n".join(
+        [
+            f"{'':<16}{'clean':>10}{'chaos':>10}",
+            f"{'wall seconds':<16}{result['clean_wall_s']:>10}{result['chaos_wall_s']:>10}",
+            (
+                f"{result['faults_injected']} faults injected at 8 sites: "
+                f"{result['retries']} retries, {result['respawns']} pool respawns, "
+                f"{result['redispatches']} re-dispatches, "
+                f"{result['backoff_ms']}ms simulated backoff"
+            ),
+            (
+                f"recovery overhead {result['overhead_x']}x wall "
+                f"({result['frames']} frames, {result['standing_queries']} standing "
+                "queries, zero loss, bit-identical results)"
+            ),
+        ]
+    )
+
+
+def test_chaos_soak_recovery_overhead(benchmark, bench_config, pytestconfig):
+    result = benchmark.pedantic(run, args=(bench_config,), rounds=1, iterations=1)
+    print_rows("Chaos soak (faults at every site, zero loss)", format_rows(result))
+    write_bench_json(
+        pytestconfig,
+        "chaos_soak",
+        params={
+            "streams": result["streams"],
+            "standing_queries": result["standing_queries"],
+            "frames": result["frames"],
+            "chunk_size": CHUNK_SIZE,
+            "faults_injected": result["faults_injected"],
+            "retries": result["retries"],
+            "respawns": result["respawns"],
+            "redispatches": result["redispatches"],
+            "backoff_ms": result["backoff_ms"],
+            "clean_wall_s": result["clean_wall_s"],
+            "chaos_wall_s": result["chaos_wall_s"],
+            "overhead_x": result["overhead_x"],
+        },
+        wall_seconds=result["chaos_wall_s"],
+        simulated_seconds=result["simulated_s"],
+        speedup=None,
+    )

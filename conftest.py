@@ -33,3 +33,6 @@ def pytest_configure(config):
         "markers", "parallel: parallel pipelined execution engine tests"
     )
     config.addinivalue_line("markers", "slow: long-running training tests")
+    config.addinivalue_line(
+        "markers", "chaos: fault-injection soak tests (CI runs them as a dedicated job)"
+    )

@@ -391,6 +391,11 @@ class QueryBudget:
 # ``is not None`` so the uninstrumented path costs one global load (INV007).
 _CLOCK_SANITIZER = None
 
+#: Clock component retry backoff is charged to (see
+#: :class:`repro.faults.RetryPolicy`): recovery time is simulated cost,
+#: never a wall-clock sleep, so retried runs stay deterministic.
+RETRY_BACKOFF_COMPONENT = "retry_backoff"
+
 
 class SimulatedClock:
     """Accumulates the simulated cost of detector / filter invocations."""

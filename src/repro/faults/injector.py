@@ -1,0 +1,598 @@
+"""Deterministic fault injection and the retry/quarantine vocabulary.
+
+The fault-tolerance layer has two halves that meet in this module:
+
+* **Injection** — :class:`FaultInjector` raises seeded, schedule-driven
+  faults at eight well-known sites (decode, filter, detector, worker
+  crash/stall, queue stall, emitter, shard crash).  It installs itself
+  into the hook modules listed in :data:`FAULT_HOOK_SITES` exactly the
+  way the runtime sanitizers do: each module holds a module-level
+  ``_FAULT_INJECTOR = None`` global and every use sits behind an
+  ``is not None`` guard, so the uninstalled cost is one global load per
+  site (INV009 in ``tools/lint_invariants.py`` enforces the pattern).
+
+* **Recovery bookkeeping** — :class:`RetryPolicy` bounds retries with
+  exponential backoff charged to a :class:`~repro.cost.SimulatedClock`
+  (never wall-clock, so retried runs stay bit-deterministic), and
+  :class:`FaultReport` / :class:`QuarantineRecord` account for every
+  injected fault, retry, respawn, re-dispatch and quarantined frame.
+
+Faults are deterministic by construction: an explicit schedule maps
+``(site, key)`` to an injection count, and optional per-site rates are
+decided by hashing ``(seed, site, key, occurrence)`` — never by a
+global RNG whose state would depend on call interleaving.
+"""
+
+from __future__ import annotations
+
+import importlib
+import os
+import sys
+import threading
+from collections import Counter
+from dataclasses import dataclass
+from hashlib import sha256
+from typing import Callable, Mapping, TypeVar
+
+from repro.cost import RETRY_BACKOFF_COMPONENT, SimulatedClock
+
+T = TypeVar("T")
+
+#: Every site the injector knows how to fault.
+FAULT_SITES = (
+    "decode",
+    "filter",
+    "detector",
+    "worker_crash",
+    "worker_stall",
+    "queue_stall",
+    "emitter",
+    "shard_crash",
+)
+
+#: ``(module, attribute)`` pairs holding the zero-overhead hook globals.
+#: :func:`install` sets each attribute to the injector; :func:`uninstall`
+#: restores ``None``.  Mirrors ``repro.analysis.sanitizers.HOOK_SITES``.
+FAULT_HOOK_SITES = (
+    ("repro.video.stream", "_FAULT_INJECTOR"),
+    ("repro.query.parallel", "_FAULT_INJECTOR"),
+    ("repro.query.session", "_FAULT_INJECTOR"),
+    ("repro.service.service", "_FAULT_INJECTOR"),
+    ("repro.service.ingest", "_FAULT_INJECTOR"),
+    ("repro.service.emitters", "_FAULT_INJECTOR"),
+)
+
+
+class FaultError(RuntimeError):
+    """A single injected (or detected) fault at one site.
+
+    Picklable by construction: ``args`` mirrors the constructor, so the
+    process backend can surface worker-side faults to the parent.
+    """
+
+    def __init__(self, site: str, key: object, detail: str = "") -> None:
+        super().__init__(site, key, detail)
+        self.site = site
+        self.key = key
+        self.detail = detail
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f": {self.detail}" if self.detail else ""
+        return f"injected fault at {self.site}@{self.key}{suffix}"
+
+
+class FaultExhausted(FaultError):
+    """A fault that survived every retry the policy allowed."""
+
+    def __init__(
+        self, site: str, key: object, attempts: int, detail: str = ""
+    ) -> None:
+        RuntimeError.__init__(self, site, key, attempts, detail)
+        self.site = site
+        self.key = key
+        self.attempts = attempts
+        self.detail = detail
+
+    def __reduce__(self):
+        return (FaultExhausted, (self.site, self.key, self.attempts, self.detail))
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        suffix = f": {self.detail}" if self.detail else ""
+        return (
+            f"fault at {self.site}@{self.key} exhausted "
+            f"{self.attempts} attempts{suffix}"
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with exponential backoff on the simulated clock.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    initial attempt plus two retries.  Backoff for the *n*-th failed
+    attempt is ``backoff_ms * backoff_factor ** (n - 1)`` milliseconds,
+    charged to the supplied clock under ``component`` — deterministic
+    cost, zero wall-clock sleep.
+    """
+
+    max_attempts: int = 3
+    backoff_ms: float = 1.0
+    backoff_factor: float = 2.0
+    component: str = RETRY_BACKOFF_COMPONENT
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.backoff_ms < 0.0:
+            raise ValueError("backoff_ms must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_for(self, attempt: int) -> float:
+        """Backoff in ms after the ``attempt``-th failure (1-based)."""
+        return self.backoff_ms * self.backoff_factor ** (attempt - 1)
+
+
+@dataclass(frozen=True)
+class InjectedFault:
+    """One fault the injector actually fired."""
+
+    site: str
+    key: object
+    occurrence: int
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """Frames set aside after retries (or supervision) gave up."""
+
+    site: str
+    key: object
+    frames: tuple[int, ...]
+    error: str
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """Immutable accounting of every fault and every recovery action."""
+
+    injected: tuple[InjectedFault, ...] = ()
+    retries: int = 0
+    recovered: int = 0
+    exhausted: int = 0
+    respawns: int = 0
+    redispatches: int = 0
+    backoff_ms: float = 0.0
+    quarantined: tuple[QuarantineRecord, ...] = ()
+
+    @property
+    def injected_count(self) -> int:
+        return len(self.injected)
+
+    def by_site(self) -> dict[str, int]:
+        """Injected-fault counts keyed by site name."""
+        return dict(Counter(fault.site for fault in self.injected))
+
+
+class FaultLog:
+    """Thread-safe mutable accumulator behind :class:`FaultReport`."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._injected: list[InjectedFault] = []
+        self._retries = 0
+        self._recovered = 0
+        self._exhausted = 0
+        self._respawns = 0
+        self._redispatches = 0
+        self._backoff_ms = 0.0
+
+    def note_injected(self, fault: InjectedFault) -> None:
+        with self._lock:
+            self._injected.append(fault)
+
+    def note_retry(self) -> None:
+        with self._lock:
+            self._retries += 1
+
+    def note_recovered(self) -> None:
+        with self._lock:
+            self._recovered += 1
+
+    def note_exhausted(self) -> None:
+        with self._lock:
+            self._exhausted += 1
+
+    def note_respawn(self) -> None:
+        with self._lock:
+            self._respawns += 1
+
+    def note_redispatch(self) -> None:
+        with self._lock:
+            self._redispatches += 1
+
+    def note_backoff(self, milliseconds: float) -> None:
+        with self._lock:
+            self._backoff_ms += milliseconds
+
+    def freeze(
+        self, quarantined: tuple[QuarantineRecord, ...] = ()
+    ) -> FaultReport:
+        with self._lock:
+            return FaultReport(
+                injected=tuple(self._injected),
+                retries=self._retries,
+                recovered=self._recovered,
+                exhausted=self._exhausted,
+                respawns=self._respawns,
+                redispatches=self._redispatches,
+                backoff_ms=self._backoff_ms,
+                quarantined=tuple(quarantined),
+            )
+
+
+def _hash01(seed: int, site: str, key: object, occurrence: int) -> float:
+    """Deterministic uniform-[0,1) draw for rate-based injection."""
+    digest = sha256(f"{seed}:{site}:{key}:{occurrence}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+class FaultInjector:
+    """Seeded, schedule-driven fault injection with retry accounting.
+
+    ``schedule`` maps ``(site, key)`` to how many times that exact site
+    should fault (each retry attempt consumes one count, so a schedule
+    of ``max_attempts`` at one key produces a poison chunk).  ``rates``
+    maps a site to a per-attempt probability decided by hashing
+    ``(seed, site, key, occurrence)`` — deterministic for a fixed seed
+    regardless of thread interleaving.
+
+    The injector is also a context manager: ``with injector:`` installs
+    it into every hook module and uninstalls on exit.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        schedule: Mapping[tuple[str, object], int] | None = None,
+        rates: Mapping[str, float] | None = None,
+        stall_seconds: float = 0.25,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.seed = int(seed)
+        self._schedule: dict[tuple[str, object], int] = dict(schedule or {})
+        self._rates: dict[str, float] = dict(rates or {})
+        for (site, _key), count in self._schedule.items():
+            if site not in FAULT_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+            if count < 1:
+                raise ValueError(f"schedule count for {site!r} must be >= 1")
+        for site, rate in self._rates.items():
+            if site not in FAULT_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"rate for {site!r} must be in [0, 1]")
+        if stall_seconds < 0.0:
+            raise ValueError("stall_seconds must be >= 0")
+        self.stall_seconds = float(stall_seconds)
+        self.retry = retry if retry is not None else RetryPolicy()
+        #: Fallback clock for backoff at sites without one (frame decode).
+        self.clock = SimulatedClock()
+        self.log = FaultLog()
+        self._lock = threading.Lock()
+        self._consumed: dict[tuple[str, object], int] = {}
+        self._sequences: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Core decision + raise primitives
+    # ------------------------------------------------------------------
+    def should_fault(self, site: str, key: object) -> bool:
+        """Decide (and consume) one injection opportunity at a site."""
+        with self._lock:
+            occurrence = self._consumed.get((site, key), 0)
+            scheduled = self._schedule.get((site, key), 0)
+            fire = occurrence < scheduled
+            if not fire:
+                rate = self._rates.get(site, 0.0)
+                fire = rate > 0.0 and _hash01(self.seed, site, key, occurrence) < rate
+            if fire:
+                self._consumed[(site, key)] = occurrence + 1
+        if fire:
+            self.log.note_injected(InjectedFault(site, key, occurrence + 1))
+        return fire
+
+    def maybe_raise(self, site: str, key: object) -> None:
+        if self.should_fault(site, key):
+            raise FaultError(site, key)
+
+    def _next_key(self, site: str) -> int:
+        """Sequence counter for sites without a natural key."""
+        with self._lock:
+            value = self._sequences.get(site, 0)
+            self._sequences[site] = value + 1
+        return value
+
+    # ------------------------------------------------------------------
+    # Site-specific entry points (called from the guarded hooks)
+    # ------------------------------------------------------------------
+    def filter_event(self, first_index: int) -> None:
+        """Fault site at the top of ``run_filter_chunk`` (keyed by the
+        chunk's first frame index, identical inline and in workers)."""
+        self.maybe_raise("filter", first_index)
+
+    def detector_event(self, frame_index: int) -> None:
+        self.maybe_raise("detector", frame_index)
+
+    def worker_directive(self, chunk_id: int) -> tuple[str, float] | None:
+        """Parent-side crash/stall decision for one dispatched chunk.
+
+        Decided before the task ships so fork/spawn children never
+        consult (and diverge) their inherited schedule copies.
+        """
+        if self.should_fault("worker_crash", chunk_id):
+            return ("crash", 0.0)
+        if self.should_fault("worker_stall", chunk_id):
+            return ("stall", self.stall_seconds)
+        return None
+
+    def queue_stall(self) -> bool:
+        """Whether this ingestion-queue ``get`` should time out empty."""
+        return self.should_fault("queue_stall", self._next_key("queue_stall"))
+
+    def emitter_event(self) -> None:
+        """Raise inside ``deliver``'s per-emitter try (keyed by a
+        per-injector delivery sequence number)."""
+        self.maybe_raise("emitter", self._next_key("emitter"))
+
+    def shard_event(self, stream: str, chunk_number: int) -> None:
+        """Simulated shard-worker crash while processing one chunk."""
+        self.maybe_raise("shard_crash", f"{stream}:{chunk_number}")
+
+    # ------------------------------------------------------------------
+    # Retry loop
+    # ------------------------------------------------------------------
+    def with_retry(
+        self,
+        site: str,
+        key: object,
+        clock: SimulatedClock | None,
+        thunk: Callable[[], T],
+    ) -> T:
+        """Run ``thunk`` under the retry policy for one fault site.
+
+        Injected :class:`FaultError`\\ s (from the pre-attempt draw *or*
+        raised by a nested hook inside ``thunk``) are retried with
+        exponential backoff charged to ``clock`` (the injector's own
+        clock when ``None``).  Exhaustion raises :class:`FaultExhausted`;
+        genuine non-fault exceptions propagate untouched on the first
+        throw — retrying non-deterministic real failures is the
+        caller's policy decision, not this loop's.
+        """
+        retry = self.retry
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                self.maybe_raise(site, key)
+                result = thunk()
+            except FaultExhausted:
+                raise
+            except FaultError as error:
+                self.log.note_retry()
+                if attempt >= retry.max_attempts:
+                    self.log.note_exhausted()
+                    raise FaultExhausted(
+                        error.site, error.key, attempt, error.detail
+                    ) from error
+                backoff = retry.backoff_for(attempt)
+                target = clock if clock is not None else self.clock
+                target.charge(retry.component, backoff)
+                self.log.note_backoff(backoff)
+                continue
+            if attempt > 1:
+                self.log.note_recovered()
+            return result
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def unfired(self) -> tuple[tuple[str, object, int], ...]:
+        """Scheduled faults that never fired: ``(site, key, remaining)``.
+
+        The chaos soak asserts this is empty — every scheduled fault
+        must be accounted for by the run it was aimed at.
+        """
+        remaining = []
+        with self._lock:
+            for (site, key), count in sorted(
+                self._schedule.items(), key=lambda item: (item[0][0], str(item[0][1]))
+            ):
+                consumed = self._consumed.get((site, key), 0)
+                if consumed < count:
+                    remaining.append((site, key, count - consumed))
+        return tuple(remaining)
+
+    def report(
+        self, quarantined: tuple[QuarantineRecord, ...] = ()
+    ) -> FaultReport:
+        return self.log.freeze(quarantined)
+
+    # ------------------------------------------------------------------
+    # Hook installation (mirrors repro.analysis.sanitizers)
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "FaultInjector":
+        install(self)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        uninstall(self)
+
+
+_HOOK_LOCK = threading.Lock()
+_CURRENT: FaultInjector | None = None
+
+
+def install(injector: FaultInjector) -> None:
+    """Install ``injector`` into every hook module.
+
+    Refuses to stack: exactly one injector may be live at a time (the
+    hook globals hold a single reference each).
+    """
+    global _CURRENT
+    with _HOOK_LOCK:
+        if _CURRENT is not None:
+            raise RuntimeError(
+                "a FaultInjector is already installed; uninstall it first"
+            )
+        for module_name, attribute in FAULT_HOOK_SITES:
+            module = importlib.import_module(module_name)
+            setattr(module, attribute, injector)
+        _CURRENT = injector
+
+
+def uninstall(injector: FaultInjector | None = None) -> None:
+    """Remove the installed injector (idempotent).
+
+    Passing a specific ``injector`` uninstalls only if it is the one
+    currently live — a stale handle from an earlier session is a no-op.
+    """
+    global _CURRENT
+    with _HOOK_LOCK:
+        if _CURRENT is None:
+            return
+        if injector is not None and injector is not _CURRENT:
+            return
+        for module_name, attribute in FAULT_HOOK_SITES:
+            module = importlib.import_module(module_name)
+            setattr(module, attribute, None)
+        _CURRENT = None
+
+
+def clear_fault_hooks() -> None:
+    """Drop any inherited injector in a pool worker (child-side reset).
+
+    A forked worker process inherits ``_CURRENT`` and every hook module's
+    global as *copies* whose schedules the parent keeps consuming
+    independently — letting the child consult them would re-fire faults
+    the parent already delivered or retried.  Worker-targeted faults are
+    decided parent-side (:meth:`FaultInjector.worker_directive`) and
+    shipped with the task, so a worker needs no injector at all.  Runs
+    from the process-pool initializer; only touches modules the child has
+    actually imported.
+    """
+    global _CURRENT
+    with _HOOK_LOCK:
+        _CURRENT = None
+        for module_name, attribute in FAULT_HOOK_SITES:
+            module = sys.modules.get(module_name)
+            if module is not None:
+                setattr(module, attribute, None)
+
+
+def current_injector() -> FaultInjector | None:
+    return _CURRENT
+
+
+def current_report(
+    quarantined: tuple[QuarantineRecord, ...] = ()
+) -> FaultReport | None:
+    """The installed injector's report, or a quarantine-only report.
+
+    Returns ``None`` when no injector is live and nothing was
+    quarantined, so fault-free runs carry ``faults=None`` and stay
+    bit-identical to pre-fault-layer results.
+    """
+    injector = current_injector()
+    if injector is not None:
+        return injector.report(tuple(quarantined))
+    if quarantined:
+        return FaultReport(quarantined=tuple(quarantined))
+    return None
+
+
+# ----------------------------------------------------------------------
+# REPRO_FAULTS environment knob
+# ----------------------------------------------------------------------
+def parse_fault_spec(spec: str) -> FaultInjector:
+    """Build an injector from a compact spec string.
+
+    Comma-separated tokens::
+
+        seed=7             injector seed (rate draws)
+        stall=0.5          stall duration in seconds
+        retries=4          RetryPolicy.max_attempts
+        backoff=2.5        RetryPolicy.backoff_ms
+        decode@12          one decode fault at frame 12
+        filter@8x3         three filter faults at chunk-first-index 8
+        worker_crash@2     crash the worker handling chunk 2
+        shard_crash@cam:1  shard fault at stream "cam", chunk 1
+        emitter%0.05       5% per-delivery emitter raise rate
+    """
+    seed = 0
+    stall_seconds = 0.25
+    max_attempts: int | None = None
+    backoff_ms: float | None = None
+    schedule: dict[tuple[str, object], int] = {}
+    rates: dict[str, float] = {}
+    for raw in spec.replace(";", ",").split(","):
+        token = raw.strip()
+        if not token:
+            continue
+        if "=" in token:
+            name, _, value = token.partition("=")
+            name = name.strip()
+            if name == "seed":
+                seed = int(value)
+            elif name == "stall":
+                stall_seconds = float(value)
+            elif name == "retries":
+                max_attempts = int(value)
+            elif name == "backoff":
+                backoff_ms = float(value)
+            else:
+                raise ValueError(f"unknown fault-spec option {name!r}")
+        elif "%" in token:
+            site, _, rate = token.partition("%")
+            rates[site.strip()] = float(rate)
+        elif "@" in token:
+            site, _, key_text = token.partition("@")
+            site = site.strip()
+            count = 1
+            head, x, tail = key_text.rpartition("x")
+            if x and tail.isdigit() and head:
+                key_text, count = head, int(tail)
+            key: object = int(key_text) if key_text.lstrip("-").isdigit() else key_text
+            schedule[(site, key)] = schedule.get((site, key), 0) + count
+        else:
+            raise ValueError(f"unparseable fault-spec token {token!r}")
+    policy = RetryPolicy(
+        max_attempts=max_attempts if max_attempts is not None else 3,
+        backoff_ms=backoff_ms if backoff_ms is not None else 1.0,
+    )
+    return FaultInjector(
+        seed=seed,
+        schedule=schedule,
+        rates=rates,
+        stall_seconds=stall_seconds,
+        retry=policy,
+    )
+
+
+def maybe_install_from_env() -> FaultInjector | None:
+    """Install an injector described by ``$REPRO_FAULTS``, if any.
+
+    No-op (returning ``None``) when the variable is unset/empty or when
+    an injector is already live — a service embedded inside an explicit
+    injection session must not fight it.
+    """
+    spec = os.environ.get("REPRO_FAULTS", "").strip()
+    if not spec:
+        return None
+    with _HOOK_LOCK:
+        already = _CURRENT is not None
+    if already:
+        return None
+    injector = parse_fault_spec(spec)
+    install(injector)
+    return injector

@@ -75,6 +75,7 @@ import numpy as np
 from repro.aggregates.windows import HoppingWindow, WindowBounds
 from repro.cost import CostBreakdown, SharedCostReport, SimulatedClock
 from repro.detection.base import Detector
+from repro.faults.injector import FaultExhausted, current_report
 from repro.filters.base import FilterPrediction, FrameFilter
 from repro.query.ast import Query
 from repro.query.evaluation import evaluate_predicates_on_detections
@@ -103,6 +104,7 @@ from repro.video.stream import Frame, VideoStream
 if TYPE_CHECKING:  # runtime import would be circular; see execute_aggregate
     from repro.aggregates.monitor import AggregateQuerySpec, MonitoringReport
     from repro.analysis.diagnostics import AnalysisReport
+    from repro.faults.injector import FaultReport
 
 
 @dataclass(frozen=True)
@@ -126,6 +128,10 @@ class ExecutionStats:
     #: findings of the runtime sanitizers (``None`` unless the scan ran with
     #: ``ParallelConfig(sanitize=...)``; empty report = instrumented and clean)
     sanitizer_report: "AnalysisReport | None" = None
+    #: injected-fault and quarantine accounting of the scan (``None`` when no
+    #: :class:`~repro.faults.FaultInjector` was installed and nothing was
+    #: quarantined — i.e. every fault-free run)
+    faults: "FaultReport | None" = None
 
     @property
     def simulated_seconds(self) -> float:
@@ -546,6 +552,7 @@ class StreamingQueryExecutor:
         per_worker: tuple = ()
         num_chunks = 0
         sanitizer_report: AnalysisReport | None = None
+        fault_report: FaultReport | None = None
         try:
             if temporal is not None:
                 prefetcher: FramePrefetcher | None = None
@@ -592,6 +599,7 @@ class StreamingQueryExecutor:
                     per_worker,
                     num_chunks,
                     sanitizer_report,
+                    fault_report,
                 ) = self._run_parallel_chunked(
                     [query],
                     stream,
@@ -634,6 +642,11 @@ class StreamingQueryExecutor:
             if parallel is not None
             else None
         )
+        if fault_report is None:
+            # Non-parallel paths did not collect a report; an installed
+            # injector still yields one (decode retries happen in the
+            # stream), and fault-free runs keep ``faults=None``.
+            fault_report = current_report(())
         stats = ExecutionStats(
             frames_scanned=len(indices),
             frames_passed_filters=len(passed),
@@ -645,6 +658,7 @@ class StreamingQueryExecutor:
             plan_revisions=plan_revisions,
             parallel=parallel_stats,
             sanitizer_report=sanitizer_report,
+            faults=fault_report,
         )
         windows = (
             _partition_into_windows(window_bounds, indices, passed, matched)
@@ -831,6 +845,7 @@ class StreamingQueryExecutor:
         per_worker: tuple = ()
         num_chunks = 0
         sanitizer_report: AnalysisReport | None = None
+        fault_report: FaultReport | None = None
 
         started = time.perf_counter()
         try:
@@ -893,6 +908,7 @@ class StreamingQueryExecutor:
                     per_worker,
                     num_chunks,
                     sanitizer_report,
+                    fault_report,
                 ) = self._run_parallel_chunked(
                     queries,
                     stream,
@@ -911,6 +927,7 @@ class StreamingQueryExecutor:
                 (
                     shared_filter_computations,
                     shared_detector_invocations,
+                    fault_report,
                 ) = self._run_many_chunked(
                     queries,
                     stream,
@@ -946,6 +963,10 @@ class StreamingQueryExecutor:
             else None
         )
 
+        if fault_report is None:
+            # Temporal runs collect no report of their own; an installed
+            # injector still yields one, and fault-free runs keep ``None``.
+            fault_report = current_report(())
         detector_component = getattr(self.detector, "name", "detector")
         detector_latency = float(getattr(self.detector, "latency_ms", 0.0))
         labels = _unique_query_labels(queries)
@@ -979,6 +1000,7 @@ class StreamingQueryExecutor:
                 wall_clock_seconds=elapsed,
                 batch_size=chunk_size if parallel is not None else batch_size,
                 plan_revisions=per_query_revisions[position],
+                faults=fault_report,
             )
             windows = (
                 _partition_into_windows(
@@ -1027,7 +1049,7 @@ class StreamingQueryExecutor:
         passed: list[list[int]],
         filter_invocations: list[int],
         attributed_calls: list[dict[tuple[str, float], int]],
-    ) -> tuple[int, int]:
+    ) -> tuple[int, int, "FaultReport | None"]:
         """The shared multi-query chunk loop (non-temporal).
 
         Mutates the per-query accumulators in place and returns the shared
@@ -1050,8 +1072,15 @@ class StreamingQueryExecutor:
                 session.add_query(query, cascade, member_set=members)
             for start in range(0, len(union_indices), chunk_size):
                 chunk = union_indices[start : start + chunk_size]
-                # One materialisation per frame, shared by every query.
-                session.push_chunk([stream.frame(index) for index in chunk])
+                try:
+                    # One materialisation per frame, shared by every query.
+                    frames = [stream.frame(index) for index in chunk]
+                except FaultExhausted as error:
+                    # A frame of this chunk could not be decoded within the
+                    # retry budget: quarantine the chunk and keep scanning.
+                    session.quarantine_chunk(list(chunk), error)
+                    continue
+                session.push_chunk(frames)
             for position, state in enumerate(session.states):
                 matched[position].extend(state.matched)
                 passed[position].extend(state.passed)
@@ -1060,7 +1089,11 @@ class StreamingQueryExecutor:
                     attributed_calls[position][component] = (
                         attributed_calls[position].get(component, 0) + calls
                     )
-        return session.shared_filter_computations, session.shared_detector_invocations
+        return (
+            session.shared_filter_computations,
+            session.shared_detector_invocations,
+            current_report(tuple(session.quarantined)),
+        )
 
     def _run_parallel_chunked(
         self,
@@ -1083,6 +1116,7 @@ class StreamingQueryExecutor:
         tuple,
         int,
         "AnalysisReport | None",
+        "FaultReport | None",
     ]:
         """The parallel pipelined chunk scan (single- or multi-query).
 
@@ -1128,6 +1162,13 @@ class StreamingQueryExecutor:
                 # chunk's filter cost, accumulate, detector-union phase.
                 scan_session.absorb_outcome(frames, outcome)
 
+            def quarantine(
+                chunk_id: int, frames: Sequence[object], error: BaseException
+            ) -> None:
+                # A chunk exhausted its decode or worker-redispatch budget:
+                # record it and advance the merge watermark past it.
+                scan_session.quarantine_chunk(frames, error)
+
             with sanitized_scan(config.sanitize, strict=config.sanitize_strict) as session:
                 per_worker, num_chunks = run_parallel_scan(
                     config,
@@ -1139,6 +1180,7 @@ class StreamingQueryExecutor:
                     profilers,
                     chunk_size,
                     merge,
+                    quarantine=quarantine,
                 )
                 if session is not None:
                     session.verify_determinism(
@@ -1164,6 +1206,7 @@ class StreamingQueryExecutor:
             per_worker,
             num_chunks,
             sanitizer_report,
+            current_report(tuple(scan_session.quarantined)),
         )
 
     # ------------------------------------------------------------------

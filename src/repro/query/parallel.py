@@ -47,8 +47,15 @@ import pickle
 import queue
 import sys
 import threading
+import time
 from collections import deque
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeout
 from contextlib import nullcontext
 from dataclasses import dataclass
 from multiprocessing import get_all_start_methods, get_context, shared_memory
@@ -57,6 +64,7 @@ from typing import Callable, Sequence
 import numpy as np
 
 from repro.cost import CostBreakdown, ParallelCostReport, SimulatedClock
+from repro.faults.injector import FaultError, FaultExhausted, clear_fault_hooks
 from repro.filters.base import FilterPrediction, FrameFilter
 from repro.query.planner import (
     FilterCascade,
@@ -70,6 +78,11 @@ from repro.video.stream import Frame, VideoStream
 # sanitized scan runs.  ``None`` means off, and every use is guarded with
 # ``is not None`` so the uninstrumented engine is unchanged (INV007).
 _WORKER_SANITIZER = None
+
+# Fault-injection hook, installed by repro.faults while a chaos session
+# runs.  Same zero-overhead contract (INV009): ``None`` means off, every
+# use sits behind an ``is not None`` guard.
+_FAULT_INJECTOR = None
 
 
 @dataclass(frozen=True)
@@ -94,6 +107,16 @@ class ParallelConfig:
     ``adaptive_margin``x.  Off by default: the reorder is always
     output-preserving, but cost accounting then depends on the observed
     stream rather than the planned order.
+
+    ``supervise=True`` turns on worker supervision (see
+    :class:`WorkerSupervisor`): a chunk whose worker dies
+    (``BrokenProcessPool``, injected crash) or stalls past
+    ``worker_timeout_seconds`` is re-dispatched — after respawning the
+    pool when the old one is broken or wedged — up to ``max_redispatch``
+    times before the chunk is declared poisoned.  The in-order merge is
+    untouched, so recovered runs stay bit-identical to fault-free ones.
+    Off by default: an unsupervised run never starts the timeout
+    machinery and fails fast exactly as before.
 
     ``sanitize`` enables the opt-in runtime sanitizers of
     :mod:`repro.analysis.sanitizers` for the chunked scan: ``"race"`` (the
@@ -122,6 +145,9 @@ class ParallelConfig:
     adaptive_min_evaluated: int = 16
     sanitize: str | None = None
     sanitize_strict: bool = True
+    supervise: bool = False
+    worker_timeout_seconds: float = 30.0
+    max_redispatch: int = 2
 
     def __post_init__(self) -> None:
         if self.num_workers < 1:
@@ -149,6 +175,14 @@ class ParallelConfig:
         if self.adaptive_min_evaluated < 1:
             raise ValueError(
                 f"adaptive_min_evaluated must be positive: {self.adaptive_min_evaluated}"
+            )
+        if self.worker_timeout_seconds <= 0.0:
+            raise ValueError(
+                f"worker_timeout_seconds must be positive: {self.worker_timeout_seconds}"
+            )
+        if self.max_redispatch < 0:
+            raise ValueError(
+                f"max_redispatch must be non-negative: {self.max_redispatch}"
             )
         # Local import: repro.analysis sits above the query package, so
         # importing it at module level would cycle (same reason as the
@@ -389,6 +423,12 @@ def run_filter_chunk(
     query ``q``'s cascade in chunk order and ``step_stats[q][p]`` the
     ``(evaluated, passed)`` counts of planned step ``p`` for the profiler.
     """
+    if _FAULT_INJECTOR is not None:
+        # Fault site *before* any accumulation, keyed by the chunk's first
+        # frame index (identical inline and in workers), so a faulted chunk
+        # is all-or-nothing and a retry replays it bit-identically.
+        if frames:
+            _FAULT_INJECTOR.filter_event(frames[0].index)
     num_queries = len(query_cascades)
     alive_indices: list[list[int]] = []
     filter_invocations = [0] * num_queries
@@ -594,6 +634,28 @@ def _attach_worker_clock(
     return clock
 
 
+def _apply_worker_directive(
+    directive: tuple[str, float] | None, chunk_id: int, process: bool
+) -> None:
+    """Enact a parent-side crash/stall directive inside a worker task.
+
+    Runs at the very top of the task — before any clone/slot/shared-memory
+    acquisition — so a crashed or stalled attempt leaves no partial filter
+    charges and holds no resources.  The stall is a deliberate wall-clock
+    sleep: it simulates a *hung* worker for the supervisor's timeout to
+    catch, which a simulated-clock charge could never do.
+    """
+    if directive is None:
+        return
+    action, seconds = directive
+    if action == "stall":
+        time.sleep(seconds)
+    elif action == "crash":
+        if process:
+            os._exit(13)
+        raise FaultError("worker_crash", chunk_id, "injected worker crash")
+
+
 class _ThreadBackend:
     """Thread pool with one private cascade clone (and clock) per worker.
 
@@ -628,8 +690,15 @@ class _ThreadBackend:
         covered: Sequence[Sequence[bool]] | None,
         orders: Sequence[Sequence[int]],
     ) -> tuple[Future, object]:
+        directive = None
+        if _FAULT_INJECTOR is not None:
+            # Crash/stall decided parent-side at submission so a redispatch
+            # (which consults the schedule again) runs the chunk clean.
+            directive = _FAULT_INJECTOR.worker_directive(chunk_id)
         return (
-            self._pool.submit(self._task, chunk_id, frames, covered, orders),
+            self._pool.submit(
+                self._task, chunk_id, frames, covered, orders, directive
+            ),
             None,
         )
 
@@ -639,7 +708,9 @@ class _ThreadBackend:
         frames: Sequence[Frame],
         covered: Sequence[Sequence[bool]] | None,
         orders: Sequence[Sequence[int]],
+        directive: tuple[str, float] | None = None,
     ) -> ChunkOutcome:
+        _apply_worker_directive(directive, chunk_id, process=False)
         worker_id, cascades, clock = self._slots.get()
         try:
             if _WORKER_SANITIZER is not None:
@@ -671,6 +742,14 @@ class _ThreadBackend:
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
 
+    def abandon(self) -> None:
+        """Non-blocking shutdown for a pool presumed wedged.
+
+        A stalled task may still hold a pool thread; waiting for it would
+        re-create the very hang the supervisor is escaping.
+        """
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
 
 # Process-worker state installed once by the pool initializer: unpickling the
 # cascades per task would dwarf the filter work itself.
@@ -678,6 +757,9 @@ _PROCESS_STATE: dict = {}
 
 
 def _init_process_worker(payload: bytes) -> None:
+    # A forked worker must never consult its inherited injector copy:
+    # worker faults are decided parent-side and shipped with the task.
+    clear_fault_hooks()
     query_cascades, assignments = pickle.loads(payload)
     _PROCESS_STATE["cascades"] = query_cascades
     _PROCESS_STATE["assignments"] = assignments
@@ -704,7 +786,11 @@ def _process_chunk_task(
     indices: Sequence[int],
     covered: Sequence[Sequence[bool]] | None,
     orders: Sequence[Sequence[int]],
+    directive: tuple[str, float] | None = None,
 ) -> ChunkOutcome:
+    # Before attaching shared memory: a crashed/stalled attempt must not
+    # hold an open view over a block the supervisor is about to unlink.
+    _apply_worker_directive(directive, chunk_id, process=True)
     state = _PROCESS_STATE
     clock: SimulatedClock = state["clock"]
     block = _attach_shared_memory(shm_name)
@@ -835,16 +921,29 @@ class _ProcessBackend:
         for k, image in enumerate(images):
             stacked[k] = image
         del stacked
-        future = self._pool.submit(
-            _process_chunk_task,
-            chunk_id,
-            block.name,
-            shape,
-            dtype.name,
-            list(indices),
-            covered,
-            [list(order) for order in orders],
-        )
+        directive = None
+        if _FAULT_INJECTOR is not None:
+            # Parent-side decision: fork/spawn children hold stale schedule
+            # copies that must never be consulted for crash/stall.
+            directive = _FAULT_INJECTOR.worker_directive(chunk_id)
+        try:
+            future = self._pool.submit(
+                _process_chunk_task,
+                chunk_id,
+                block.name,
+                shape,
+                dtype.name,
+                list(indices),
+                covered,
+                [list(order) for order in orders],
+                directive,
+            )
+        except BaseException:
+            # The block is only handed to the caller on success; a failed
+            # submit (e.g. a pool already broken by a crashed sibling) must
+            # unlink it here or the segment leaks.
+            self.release(block)
+            raise
         return future, block
 
     def release(self, handle: object) -> None:
@@ -859,6 +958,210 @@ class _ProcessBackend:
 
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def abandon(self) -> None:
+        """Non-blocking shutdown for a broken or wedged pool."""
+        self._pool.shutdown(wait=False, cancel_futures=True)
+
+
+# ----------------------------------------------------------------------
+# Worker supervision
+# ----------------------------------------------------------------------
+def _make_backend(
+    config: ParallelConfig,
+    query_cascades: Sequence[FilterCascade],
+    assignments: Sequence[Sequence[int]],
+) -> "_ThreadBackend | _ProcessBackend":
+    if config.backend == "process":
+        return _ProcessBackend(config, query_cascades, assignments)
+    return _ThreadBackend(config, query_cascades, assignments)
+
+
+class ChunkDispatch:
+    """One dispatched chunk and everything needed to re-dispatch it.
+
+    ``orders`` are the step orders stamped at *original* submission time;
+    a re-dispatch reuses them even if the adaptive profiler has moved on,
+    so a recovered run stays bit-identical to a fault-free one.
+    """
+
+    __slots__ = (
+        "chunk_id",
+        "indices",
+        "frames",
+        "covered",
+        "orders",
+        "future",
+        "handle",
+        "generation",
+        "attempts",
+    )
+
+    def __init__(
+        self,
+        chunk_id: int,
+        indices: Sequence[int],
+        frames: list[Frame],
+        covered: Sequence[Sequence[bool]] | None,
+        orders: Sequence[Sequence[int]],
+    ) -> None:
+        self.chunk_id = chunk_id
+        self.indices = list(indices)
+        self.frames = frames
+        self.covered = covered
+        self.orders = orders
+        self.future: Future | None = None
+        self.handle: object = None
+        self.generation = 0
+        self.attempts = 0
+
+
+class WorkerSupervisor:
+    """Owns the filter backend and heals dead or stalled workers.
+
+    State machine per chunk (``supervise=True``)::
+
+        DISPATCHED --result ok--------------------------> MERGED
+            |  ^
+            |  +--redispatch (attempts <= max_redispatch)-+
+            |                                             |
+            +--FaultError (thread worker crash) ----------+
+            +--BrokenExecutor (process worker death) -> respawn pool -+
+            +--timeout worker_timeout_seconds (stall) -> respawn pool -+
+            |
+            +--attempts exhausted--> FaultExhausted -> quarantine
+
+    The pool is respawned at most once per failure *generation*: a dead
+    process worker breaks every in-flight future of its pool at once, and
+    only the first observed failure pays the respawn — the siblings are
+    re-dispatched onto the already-fresh pool.  An unsupervised scan never
+    arms the timeout and propagates the first failure unchanged.
+    """
+
+    def __init__(
+        self,
+        config: ParallelConfig,
+        query_cascades: Sequence[FilterCascade],
+        assignments: Sequence[Sequence[int]],
+    ) -> None:
+        self._config = config
+        self._query_cascades = list(query_cascades)
+        self._assignments = [list(row) for row in assignments]
+        self._backend = _make_backend(config, self._query_cascades, self._assignments)
+        self._generation = 0
+        self.respawns = 0
+        self.redispatches = 0
+
+    def submit(
+        self,
+        chunk_id: int,
+        indices: Sequence[int],
+        frames: list[Frame],
+        covered: Sequence[Sequence[bool]] | None,
+        orders: Sequence[Sequence[int]],
+    ) -> ChunkDispatch:
+        entry = ChunkDispatch(chunk_id, indices, frames, covered, orders)
+        self._dispatch(entry)
+        return entry
+
+    def _dispatch(self, entry: ChunkDispatch) -> None:
+        while True:
+            entry.attempts += 1
+            try:
+                entry.future, entry.handle = self._backend.submit(
+                    entry.chunk_id,
+                    entry.indices,
+                    entry.frames,
+                    entry.covered,
+                    entry.orders,
+                )
+                entry.generation = self._generation
+                return
+            except BrokenExecutor as error:
+                # A sibling's crash can break the pool before this chunk
+                # even ships; same recovery path as a failed result.
+                self._recover(entry, error, respawn=True)
+
+    def result(self, entry: ChunkDispatch) -> ChunkOutcome:
+        """Block for one chunk's outcome, healing failures in place.
+
+        Always releases the chunk's shared-memory handle — success,
+        failure and exhaustion paths alike — so no segment outlives its
+        merge point.
+        """
+        timeout = (
+            self._config.worker_timeout_seconds if self._config.supervise else None
+        )
+        while True:
+            assert entry.future is not None
+            try:
+                outcome = entry.future.result(timeout)
+            except FuturesTimeout as error:
+                self._recover(entry, error, respawn=True)
+            except FaultError as error:
+                # A thread worker "crash": the pool itself is intact.
+                self._recover(entry, error, respawn=False)
+            except BrokenExecutor as error:
+                self._recover(entry, error, respawn=True)
+            else:
+                self._release(entry)
+                return outcome
+
+    def _recover(
+        self, entry: ChunkDispatch, error: BaseException, *, respawn: bool
+    ) -> None:
+        self._release(entry)
+        if not self._config.supervise:
+            raise error
+        if entry.attempts > self._config.max_redispatch:
+            if _FAULT_INJECTOR is not None:
+                _FAULT_INJECTOR.log.note_exhausted()
+            raise FaultExhausted(
+                "worker",
+                entry.chunk_id,
+                entry.attempts,
+                str(error) or type(error).__name__,
+            ) from error
+        if respawn and entry.generation == self._generation:
+            self._respawn()
+        self.redispatches += 1
+        if _FAULT_INJECTOR is not None:
+            _FAULT_INJECTOR.log.note_redispatch()
+        self._dispatch(entry)
+
+    def _respawn(self) -> None:
+        self._generation += 1
+        self.respawns += 1
+        if _FAULT_INJECTOR is not None:
+            _FAULT_INJECTOR.log.note_respawn()
+        old = self._backend
+        # Fresh pool first: re-dispatched chunks must never queue behind a
+        # stalled task in the old one.  The old pool is abandoned without
+        # waiting (a wedged worker would block a wait=True shutdown).
+        self._backend = _make_backend(
+            self._config, self._query_cascades, self._assignments
+        )
+        old.abandon()
+
+    def _release(self, entry: ChunkDispatch) -> None:
+        if entry.handle is not None:
+            # release() is pool-independent (pure shared-memory teardown),
+            # so the current backend can release a handle an abandoned
+            # generation created.
+            self._backend.release(entry.handle)
+            entry.handle = None
+
+    def discard(self, entry: ChunkDispatch) -> None:
+        """Teardown-path cleanup for a chunk that will never be merged."""
+        if entry.future is not None and not entry.future.cancel():
+            try:
+                entry.future.result(self._config.worker_timeout_seconds)
+            except Exception:  # pragma: no cover - teardown path
+                pass
+        self._release(entry)
+
+    def close(self) -> None:
+        self._backend.close()
 
 
 # ----------------------------------------------------------------------
@@ -882,6 +1185,8 @@ def run_parallel_scan(
     profilers: Sequence[CascadeProfiler] | None,
     chunk_size: int,
     merge: Callable[[int, list[Frame], ChunkOutcome], None],
+    *,
+    quarantine: Callable[[int, Sequence[object], BaseException], None] | None = None,
 ) -> tuple[tuple[CostBreakdown, ...], int]:
     """Drive the parallel pipeline over one scan, merging strictly in order.
 
@@ -894,6 +1199,14 @@ def run_parallel_scan(
     so adaptive revisions are decided on the ordered stream even though
     chunks complete out of order.  Returns the per-worker cost breakdowns
     (sorted by worker label) and the number of chunks executed.
+
+    Dispatch goes through a :class:`WorkerSupervisor`: with
+    ``config.supervise`` set, dead or stalled workers are respawned and
+    their chunks re-dispatched transparently.  ``quarantine`` (when given)
+    receives ``(chunk_id, frames_or_indices, error)`` for a chunk whose
+    retries were exhausted — decode exhaustion passes the bare index list,
+    a poisoned worker chunk passes the rendered frames — and the scan
+    continues; without it exhaustion propagates and aborts the scan.
     """
     chunks = partition_chunks(union_indices, chunk_size)
     if not chunks:
@@ -901,12 +1214,7 @@ def run_parallel_scan(
     identity_orders = [tuple(range(len(cascade.steps))) for cascade in query_cascades]
     # Backend first (process workers must exist before any thread starts),
     # prefetcher second.
-    if config.backend == "process":
-        backend: _ThreadBackend | _ProcessBackend = _ProcessBackend(
-            config, query_cascades, assignments
-        )
-    else:
-        backend = _ThreadBackend(config, query_cascades, assignments)
+    supervisor = WorkerSupervisor(config, query_cascades, assignments)
     try:
         prefetcher = ChunkPrefetcher(
             stream, chunks, depth=config.prefetch_depth,
@@ -916,11 +1224,12 @@ def run_parallel_scan(
         # The try/finally below only exists once the prefetcher does; without
         # this guard a failing prefetcher constructor strands live backend
         # workers (fatal for a service that restarts scans in a loop).
-        backend.close()
+        supervisor.close()
         raise
     worker_totals: dict[str, CostBreakdown] = {}
     max_inflight = config.num_workers + config.prefetch_depth
-    inflight: dict[int, tuple[Future, list[Frame], object]] = {}
+    inflight: dict[int, ChunkDispatch] = {}
+    skipped: set[int] = set()
     next_submit = 0
     next_merge = 0
     try:
@@ -930,7 +1239,17 @@ def run_parallel_scan(
                 and next_submit - next_merge < max_inflight
             ):
                 chunk = chunks[next_submit]
-                frames = prefetcher.get(next_submit)
+                try:
+                    frames = prefetcher.get(next_submit)
+                except FaultExhausted as error:
+                    # Undecodable chunk: no frames ever existed, so the
+                    # quarantine record carries the bare indices.
+                    if quarantine is None:
+                        raise
+                    quarantine(next_submit, chunk, error)
+                    skipped.add(next_submit)
+                    next_submit += 1
+                    continue
                 if profilers is not None:
                     orders = [tuple(profiler.order) for profiler in profilers]
                 else:
@@ -942,41 +1261,39 @@ def run_parallel_scan(
                     ]
                 else:
                     covered = None
-                future, handle = backend.submit(
+                inflight[next_submit] = supervisor.submit(
                     next_submit, chunk, frames, covered, orders
                 )
-                inflight[next_submit] = (future, frames, handle)
                 next_submit += 1
-            future, frames, handle = inflight.pop(next_merge)
+            if next_merge in skipped:
+                skipped.discard(next_merge)
+                next_merge += 1
+                continue
+            entry = inflight.pop(next_merge)
             try:
-                outcome = future.result()
-            finally:
-                # Must run even when the worker raised: once the entry is
-                # popped from ``inflight`` the teardown loop no longer sees
-                # it, and an unreleased handle strands a shared-memory block
-                # until interpreter exit.
-                backend.release(handle)
+                outcome = supervisor.result(entry)
+            except FaultExhausted as error:
+                if quarantine is None:
+                    raise
+                quarantine(next_merge, entry.frames, error)
+                next_merge += 1
+                continue
             worker_totals[outcome.worker] = worker_totals.get(
                 outcome.worker, CostBreakdown()
             ).merged_with(outcome.breakdown)
             if _WORKER_SANITIZER is not None:
                 _WORKER_SANITIZER.observe_chunk(next_merge, outcome)
-            merge(next_merge, frames, outcome)
+            merge(next_merge, entry.frames, outcome)
             if profilers is not None:
                 at_frame = chunks[next_merge][-1]
                 for profiler, stats in zip(profilers, outcome.step_stats):
                     profiler.observe(stats, at_frame)
             next_merge += 1
     finally:
-        for future, _frames, handle in inflight.values():
-            if not future.cancel():
-                try:
-                    future.result()
-                except Exception:  # pragma: no cover - teardown path
-                    pass
-            backend.release(handle)
+        for entry in inflight.values():
+            supervisor.discard(entry)
         prefetcher.close()
-        backend.close()
+        supervisor.close()
     per_worker = tuple(
         worker_totals[label] for label in sorted(worker_totals, key=_worker_sort_key)
     )

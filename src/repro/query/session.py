@@ -49,13 +49,14 @@ from repro.detection.base import Detector
 from repro.filters.base import FilterPrediction, FrameFilter
 from repro.query.ast import Query
 from repro.query.evaluation import evaluate_predicates_on_detections
+from repro.faults.injector import FaultExhausted, QuarantineRecord
 from repro.query.parallel import (
     CascadeProfiler,
+    ChunkDispatch,
     ChunkOutcome,
     ParallelConfig,
     PlanRevision,
-    _ProcessBackend,
-    _ThreadBackend,
+    WorkerSupervisor,
     run_filter_chunk,
 )
 from repro.query.planner import (
@@ -75,6 +76,14 @@ from repro.video.stream import Frame
 
 if TYPE_CHECKING:  # runtime import would be circular (executor imports us)
     from repro.query.executor import QueryExecutionResult, WindowResult
+
+# Fault-injection hook, installed by repro.faults while a chaos session
+# runs.  Same zero-overhead contract as the sanitizer hooks (INV009):
+# ``None`` means off, every use sits behind an ``is not None`` guard.
+_FAULT_INJECTOR = None
+
+#: Version tag of the :meth:`ScanSession.checkpoint` payload schema.
+CHECKPOINT_VERSION = 1
 
 
 @dataclass(frozen=True)
@@ -265,15 +274,18 @@ class ScanSession:
         self.degraded = False
         self.degraded_frames = 0
         self._degrade_gate = None
-        # Parallel pipelining state.
-        self._backend: _ThreadBackend | _ProcessBackend | None = None
-        self._inflight: dict[int, tuple] = {}
+        # Parallel pipelining state (dispatch goes through a supervisor so
+        # dead/stalled workers heal when the config asks for it).
+        self._backend: WorkerSupervisor | None = None
+        self._inflight: dict[int, tuple[ChunkDispatch, tuple[int, ...]]] = {}
         self._next_submit = 0
         self._next_merge = 0
         self._worker_totals: dict[str, CostBreakdown] = {}
         self.chunks_merged = 0
         #: once-per-session dedup registry for WindowTailDropWarning
         self._warn_registry: set = set()
+        #: chunks/frames set aside after retries and supervision gave up
+        self.quarantined: list[QuarantineRecord] = []
         self._started_wall = time.perf_counter()
 
     # ------------------------------------------------------------------
@@ -439,13 +451,46 @@ class ScanSession:
         if not self._active:
             self._watermark = max(self._watermark, frames[-1].index)
             return self._progress(cursors)
-        if self._temporal is not None or self.degraded:
-            self._push_temporal(frames)
-        elif self._parallel is not None:
-            self._push_parallel(frames)
-        else:
-            self._push_inline(frames)
+        try:
+            if self._temporal is not None or self.degraded:
+                self._push_temporal(frames)
+            elif self._parallel is not None:
+                self._push_parallel(frames)
+            else:
+                self._push_inline(frames)
+        except FaultExhausted as error:
+            # Poison chunk: retries (and, on the parallel path, worker
+            # re-dispatch) gave up.  Quarantine and keep scanning — a
+            # standing query must outlive one bad chunk.
+            self.quarantine_chunk(frames, error)
         return self._progress(cursors)
+
+    def quarantine_chunk(
+        self, frames: Sequence[object], error: BaseException
+    ) -> QuarantineRecord:
+        """Set one chunk aside after recovery gave up; the scan continues.
+
+        ``frames`` may be :class:`Frame` objects or bare indices (decode
+        exhaustion never materialised any frames).  The watermark still
+        advances past the chunk so window emission and later pushes are
+        unaffected; the quarantined frames simply never enter any
+        accumulator, and the record lands on ``quarantined`` (surfaced as
+        ``FaultReport.quarantined`` and ``Emission(kind="fault")``).
+        """
+        indices = tuple(
+            frame.index if isinstance(frame, Frame) else int(frame)  # type: ignore[attr-defined]
+            for frame in frames
+        )
+        record = QuarantineRecord(
+            site=getattr(error, "site", "runtime"),
+            key=getattr(error, "key", indices[0] if indices else -1),
+            frames=indices,
+            error=str(error),
+        )
+        self.quarantined.append(record)
+        if indices:
+            self._watermark = max(self._watermark, indices[-1])
+        return record
 
     def _match_cursors(self) -> dict[int, int]:
         return {state.sid: len(state.matched) for state in self._states if state.active}
@@ -471,9 +516,29 @@ class ScanSession:
         states = [self._states[sid] for sid in self._active]
         covered = [[state.covers(frame.index) for frame in frames] for state in states]
         orders = self._current_orders()
-        alive, invocations, attributed, computed, step_stats = run_filter_chunk(
-            self._active_cascades, self._assignments, covered, orders, frames
-        )
+        if _FAULT_INJECTOR is not None:
+            # Chunk-atomic retry: the fault site is *before* any
+            # accumulation inside run_filter_chunk, so a retried chunk
+            # replays bit-identically and exhaustion poisons the whole
+            # chunk (no partial counters to unwind).
+            alive, invocations, attributed, computed, step_stats = (
+                _FAULT_INJECTOR.with_retry(
+                    "filter",
+                    frames[0].index,
+                    self.clock,
+                    lambda: run_filter_chunk(
+                        self._active_cascades,
+                        self._assignments,
+                        covered,
+                        orders,
+                        frames,
+                    ),
+                )
+            )
+        else:
+            alive, invocations, attributed, computed, step_stats = run_filter_chunk(
+                self._active_cascades, self._assignments, covered, orders, frames
+            )
         self._accumulate_filter_phase(
             states, frames, covered, alive, invocations, attributed, computed
         )
@@ -534,7 +599,22 @@ class ScanSession:
             ]
             if not interested:
                 continue
-            detections = self.detector.detect(frame)
+            if _FAULT_INJECTOR is not None:
+                try:
+                    detections = _FAULT_INJECTOR.with_retry(
+                        "detector",
+                        frame.index,
+                        self.clock,
+                        lambda frame=frame: self.detector.detect(frame),
+                    )
+                except FaultExhausted as error:
+                    # Frame-level quarantine: the frame keeps its filter
+                    # accounting (that work really ran) but contributes no
+                    # matches, and the scan moves on.
+                    self.quarantine_chunk([frame], error)
+                    continue
+            else:
+                detections = self.detector.detect(frame)
             self.shared_detector_invocations += 1
             for position in interested:
                 state = states[position]
@@ -573,28 +653,23 @@ class ScanSession:
         self.chunks_merged += 1
 
     # -- parallel path --------------------------------------------------
-    def _ensure_backend(self) -> "_ThreadBackend | _ProcessBackend":
+    def _ensure_backend(self) -> WorkerSupervisor:
         if self._backend is None:
             assert self._parallel is not None
-            if self._parallel.backend == "process":
-                self._backend = _ProcessBackend(
-                    self._parallel, self._active_cascades, self._assignments
-                )
-            else:
-                self._backend = _ThreadBackend(
-                    self._parallel, self._active_cascades, self._assignments
-                )
+            self._backend = WorkerSupervisor(
+                self._parallel, self._active_cascades, self._assignments
+            )
         return self._backend
 
     def _push_parallel(self, frames: list[Frame]) -> None:
         assert self._parallel is not None
-        backend = self._ensure_backend()
+        supervisor = self._ensure_backend()
         states = [self._states[sid] for sid in self._active]
         chunk = [frame.index for frame in frames]
         covered = [[state.covers(index) for index in chunk] for state in states]
         orders = self._current_orders()
-        future, handle = backend.submit(self._next_submit, chunk, frames, covered, orders)
-        self._inflight[self._next_submit] = (future, frames, handle, tuple(self._active))
+        entry = supervisor.submit(self._next_submit, chunk, frames, covered, orders)
+        self._inflight[self._next_submit] = (entry, tuple(self._active))
         self._next_submit += 1
         max_inflight = self._parallel.num_workers + self._parallel.prefetch_depth
         self._drain_ready()
@@ -603,8 +678,8 @@ class ScanSession:
 
     def _drain_ready(self) -> None:
         while self._next_merge in self._inflight:
-            future = self._inflight[self._next_merge][0]
-            if not future.done():
+            future = self._inflight[self._next_merge][0].future
+            if future is None or not future.done():
                 return
             self._merge_next()
 
@@ -613,19 +688,23 @@ class ScanSession:
             self._merge_next()
 
     def _merge_next(self) -> None:
-        future, frames, handle, sids = self._inflight.pop(self._next_merge)
-        backend = self._backend
+        entry, sids = self._inflight.pop(self._next_merge)
+        supervisor = self._backend
+        assert supervisor is not None
         try:
-            outcome = future.result()
-        finally:
-            if backend is not None:
-                backend.release(handle)
+            outcome = supervisor.result(entry)
+        except FaultExhausted as error:
+            # Poisoned chunk: supervision re-dispatched it to the limit.
+            # The handle is already released; quarantine and keep merging.
+            self.quarantine_chunk(entry.frames, error)
+            self._next_merge += 1
+            return
         self._worker_totals[outcome.worker] = self._worker_totals.get(
             outcome.worker, CostBreakdown()
         ).merged_with(outcome.breakdown)
-        self.absorb_outcome(frames, outcome, sids)
+        self.absorb_outcome(entry.frames, outcome, sids)
         states = [self._states[sid] for sid in sids]
-        self._observe_profilers(states, outcome.step_stats, frames[-1].index)
+        self._observe_profilers(states, outcome.step_stats, entry.frames[-1].index)
         self._next_merge += 1
 
     @property
@@ -733,7 +812,18 @@ class ScanSession:
                 survivors.append(sid)
         detector_ran = False
         if survivors:
-            detections = self.detector.detect(frame)
+            if _FAULT_INJECTOR is not None:
+                # Exhaustion propagates: the temporal pipeline is
+                # keyframe-relative, so push_chunk quarantines the rest of
+                # the chunk rather than skipping one frame mid-gate.
+                detections = _FAULT_INJECTOR.with_retry(
+                    "detector",
+                    frame.index,
+                    self.clock,
+                    lambda: self.detector.detect(frame),
+                )
+            else:
+                detections = self.detector.detect(frame)
             detector_ran = True
             if charged:
                 self.shared_detector_invocations += 1
@@ -1042,6 +1132,168 @@ class ScanSession:
         return SharedCostReport(
             shared=self.clock.delta_since(self._cost_baseline), attributed=attributed
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+    def checkpoint(self) -> dict:
+        """Serialise the session's live progress into a picklable payload.
+
+        The payload captures everything a crashed shard worker needs to
+        resume *without re-emitting or skipping windows*: per-query
+        accumulators and window cursors (``next_window_start`` /
+        ``emitted_windows`` / ``match_cursor``), the watermark, the shared
+        counters, the clock delta accrued since the session started,
+        temporal-gate state (signature, streak, cached outcome) and the
+        quarantine list.  The parallel pipeline is drained first so no
+        in-flight chunk is lost.  Wall-clock fields (``registered_wall``)
+        are deliberately *not* captured: elapsed-time budgets restart at
+        restore, since the wall time of a dead process is meaningless.
+        """
+        if self._closed:
+            raise RuntimeError("session is closed")
+        self._drain_all()
+        states_payload = []
+        for state in self._states:
+            states_payload.append(
+                {
+                    "key": state.key,
+                    "origin": state.origin,
+                    "active": state.active,
+                    "scanned": list(state.scanned),
+                    "passed": list(state.passed),
+                    "matched": list(state.matched),
+                    "filter_invocations": state.filter_invocations,
+                    "attributed": dict(state.attributed),
+                    "violations": list(state.violations),
+                    "violated_kinds": set(state.violated_kinds),
+                    "next_window_start": state.next_window_start,
+                    "windows_closed": state.windows_closed,
+                    "emitted_windows": list(state.emitted_windows),
+                    "match_cursor": state.match_cursor,
+                }
+            )
+        telemetry = self._telemetry
+        return {
+            "version": CHECKPOINT_VERSION,
+            "live": self.live,
+            "watermark": self._watermark,
+            "clock_delta": self.clock.delta_since(self._cost_baseline),
+            "shared_filter_computations": self.shared_filter_computations,
+            "shared_detector_invocations": self.shared_detector_invocations,
+            "union_frames_scanned": self.union_frames_scanned,
+            "chunks_merged": self.chunks_merged,
+            "degraded": self.degraded,
+            "degraded_frames": self.degraded_frames,
+            "filter_reuses": self._filter_reuses,
+            "detector_reuses": self._detector_reuses,
+            "telemetry": {
+                "frames_total": telemetry.frames_total,
+                "frames_computed": telemetry.frames_computed,
+                "frames_reused": telemetry.frames_reused,
+                "frames_skipped": telemetry.frames_skipped,
+                "refinement_probes": telemetry.refinement_probes,
+                "verified_frames": telemetry.verified_frames,
+                "reuse_mismatches": telemetry.reuse_mismatches,
+                "max_stride_used": telemetry.max_stride_used,
+            },
+            "gate": None if self._gate is None else self._gate.state_dict(),
+            "degrade_gate": (
+                None
+                if self._degrade_gate is None
+                else self._degrade_gate.state_dict()
+            ),
+            "warn_registry": set(self._warn_registry),
+            "quarantined": list(self.quarantined),
+            "states": states_payload,
+        }
+
+    def restore(self, snapshot: dict) -> None:
+        """Load a :meth:`checkpoint` payload into a freshly-built session.
+
+        The caller rebuilds the session the way the original was built —
+        same constructor arguments, same queries re-added via
+        :meth:`add_query` in the same order — and then restores.  The
+        restored session continues exactly where the checkpoint was cut:
+        already-emitted windows and matches are never re-emitted (their
+        cursors are part of the payload) and the next pushed chunk must
+        start past the restored watermark, so nothing is skipped either.
+        """
+        if snapshot.get("version") != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {snapshot.get('version')!r}"
+            )
+        if self._closed:
+            raise RuntimeError("session is closed")
+        if bool(snapshot["live"]) != self.live:
+            raise ValueError("checkpoint live-mode flag does not match the session")
+        if (
+            self._watermark != -1
+            or self.chunks_merged
+            or any(state.scanned for state in self._states)
+        ):
+            raise RuntimeError(
+                "restore() needs a fresh session (no chunks pushed yet)"
+            )
+        payload = snapshot["states"]
+        if len(payload) != len(self._states):
+            raise ValueError(
+                f"checkpoint holds {len(payload)} queries, session has "
+                f"{len(self._states)} — re-add the same queries in order"
+            )
+        for state, entry in zip(self._states, payload):
+            if state.key != entry["key"]:
+                raise ValueError(
+                    f"query key mismatch at sid={state.sid}: checkpoint "
+                    f"{entry['key']!r} vs session {state.key!r}"
+                )
+            state.origin = entry["origin"]
+            state.active = entry["active"]
+            state.scanned = list(entry["scanned"])
+            state.passed = list(entry["passed"])
+            state.matched = list(entry["matched"])
+            state.filter_invocations = entry["filter_invocations"]
+            state.attributed = dict(entry["attributed"])
+            state.violations = list(entry["violations"])
+            state.violated_kinds = set(entry["violated_kinds"])
+            state.next_window_start = entry["next_window_start"]
+            state.windows_closed = entry["windows_closed"]
+            state.emitted_windows = list(entry["emitted_windows"])
+            state.match_cursor = entry["match_cursor"]
+        self._watermark = snapshot["watermark"]
+        # Re-charge the checkpointed simulated cost onto this session's
+        # clock (absorb replays both charges and reuses), so cost reports
+        # after a resume match an uninterrupted run.  The baseline stays at
+        # construction time, which predates the absorb by definition.
+        self.clock.absorb(snapshot["clock_delta"])
+        self.shared_filter_computations = snapshot["shared_filter_computations"]
+        self.shared_detector_invocations = snapshot["shared_detector_invocations"]
+        self.union_frames_scanned = snapshot["union_frames_scanned"]
+        self.chunks_merged = snapshot["chunks_merged"]
+        self.degraded = snapshot["degraded"]
+        self.degraded_frames = snapshot["degraded_frames"]
+        self._filter_reuses = snapshot["filter_reuses"]
+        self._detector_reuses = snapshot["detector_reuses"]
+        for name, value in snapshot["telemetry"].items():
+            setattr(self._telemetry, name, value)
+        if snapshot["gate"] is not None:
+            if self._temporal is None:
+                raise ValueError(
+                    "checkpoint carries temporal gate state but the session "
+                    "was built without temporal="
+                )
+            from repro.query.temporal import DeltaGate
+
+            self._gate = DeltaGate(self._temporal)
+            self._gate.load_state(snapshot["gate"])
+        if snapshot["degrade_gate"] is not None:
+            from repro.query.temporal import DeltaGate
+
+            self._degrade_gate = DeltaGate(self._degrade_config)
+            self._degrade_gate.load_state(snapshot["degrade_gate"])
+        self._warn_registry = set(snapshot["warn_registry"])
+        self.quarantined = list(snapshot["quarantined"])
+        self._invalidate_plan()
 
     def close(self) -> None:
         """Tear down the backend and restore every clock.  Idempotent."""

@@ -280,6 +280,35 @@ class DeltaGate:
         """
         self._outcome = outcome
 
+    def state_dict(self) -> dict:
+        """Checkpointable gate state (see :meth:`ScanSession.checkpoint`).
+
+        The signature is copied (it is derived data, cheap and small); the
+        cached outcome is included as-is — session outcomes are plain
+        dataclasses over ints/bools, picklable by construction.  The
+        signature memo is deliberately dropped: it is keyed by object
+        identity, which does not survive a process boundary.
+        """
+        return {
+            "signature": (
+                None if self._signature is None else np.array(self._signature, copy=True)
+            ),
+            "context": self._context,
+            "outcome": self._outcome,
+            "streak": self._streak,
+            "last_score": self.last_score,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Restore :meth:`state_dict` output into this gate."""
+        signature = state["signature"]
+        self._signature = None if signature is None else np.array(signature, copy=True)
+        self._context = state["context"]
+        self._outcome = state["outcome"]
+        self._streak = int(state["streak"])
+        self._signature_memo = None
+        self.last_score = float(state["last_score"])
+
 
 class TemporalScan:
     """Drives one temporally-coherent scan over a sequence of frame indices.

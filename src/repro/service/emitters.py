@@ -13,12 +13,19 @@ subscriber cannot stall a stream shard.
 from __future__ import annotations
 
 import threading
+import warnings
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Iterable, Protocol
 
 if TYPE_CHECKING:
     from repro.cost import BudgetViolation
+    from repro.faults.injector import QuarantineRecord
     from repro.query.executor import QueryExecutionResult, WindowResult
+
+# Fault-injection hook, installed by repro.faults while a chaos session runs.
+# ``None`` means off; every use sits behind an ``is not None`` guard so the
+# fault-free delivery path stays a plain try/except loop (INV009).
+_FAULT_INJECTOR = None
 
 
 @dataclass(frozen=True)
@@ -27,9 +34,12 @@ class Emission:
 
     ``kind`` is ``"matches"`` (``matched_frames`` newly confirmed),
     ``"window"`` (``window`` completed), ``"violation"`` (``violation``
-    fired) or ``"result"`` (``result`` finalised on deregistration / stream
-    close).  ``watermark`` is the stream's highest processed frame index at
-    emission time.
+    fired), ``"result"`` (``result`` finalised on deregistration / stream
+    close) or ``"fault"`` (``fault`` holds the
+    :class:`~repro.faults.QuarantineRecord` of a frame group that exhausted
+    its retry budget; ``handle`` is ``-1`` — quarantine is per stream, not
+    per query).  ``watermark`` is the stream's highest processed frame index
+    at emission time.
     """
 
     stream: str
@@ -41,6 +51,7 @@ class Emission:
     window: "WindowResult | None" = None
     violation: "BudgetViolation | None" = None
     result: "QueryExecutionResult | None" = None
+    fault: "QuarantineRecord | None" = None
 
 
 class Emitter(Protocol):
@@ -106,13 +117,36 @@ class BufferEmitter:
 
 
 def deliver(
-    emitters: Iterable[Emitter], emission: Emission
+    emitters: Iterable[Emitter],
+    emission: Emission,
+    warned: set[int] | None = None,
 ) -> int:
-    """Deliver ``emission`` to every emitter; returns the number of failures."""
+    """Deliver ``emission`` to every emitter; returns the number of failures.
+
+    A raising emitter never stops delivery to the others and never
+    propagates into the caller (the stream shard keeps scanning).  With
+    ``warned`` — a caller-owned set of emitter ids — the first failure of
+    each emitter additionally raises a :class:`RuntimeWarning`; repeat
+    failures are counted silently.
+    """
     failures = 0
     for emitter in emitters:
         try:
+            if _FAULT_INJECTOR is not None:
+                # Injected emitter fault: simulates this subscriber raising.
+                _FAULT_INJECTOR.emitter_event()
             emitter.emit(emission)
-        except Exception:
+        except Exception as error:
             failures += 1
+            if warned is not None and id(emitter) not in warned:
+                warned.add(id(emitter))
+                warnings.warn(
+                    f"emitter {type(emitter).__name__} raised "
+                    f"{type(error).__name__} while receiving a "
+                    f"{emission.kind!r} emission for stream "
+                    f"{emission.stream!r}; it stays subscribed and further "
+                    "failures are only counted",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
     return failures

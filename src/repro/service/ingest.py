@@ -27,6 +27,11 @@ from repro.video.stream import Frame
 #: the admissible backpressure policies, in documentation order
 POLICIES = ("block", "drop_oldest", "degrade")
 
+# Fault-injection hook, installed by repro.faults while a chaos session runs.
+# ``None`` means off; the single use is guarded with ``is not None`` so the
+# fault-free dequeue path is untouched (INV009).
+_FAULT_INJECTOR = None
+
 
 class IngestionQueue:
     """A bounded, closable FIFO of frame chunks with one backpressure policy."""
@@ -84,6 +89,13 @@ class IngestionQueue:
         Also clears ``degrade_requested`` once the depth falls to half the
         soft capacity or below (the hysteresis that ends a degraded episode).
         """
+        if _FAULT_INJECTOR is not None:
+            # Injected queue stall: this dequeue times out empty exactly as a
+            # slow producer would make it.  The chunk stays queued; callers
+            # must already treat ``None`` as "poll again" (the shard worker's
+            # timed loop does), so no work is lost.
+            if _FAULT_INJECTOR.queue_stall():
+                return None
         with self._not_empty:
             while not self._chunks:
                 if self._closed:

@@ -24,8 +24,17 @@ import threading
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from repro.analysis.diagnostics import AnalysisError
 from repro.cost import BudgetViolation, QueryBudget, SimulatedClock
 from repro.detection.base import Detector
+from repro.faults.injector import (
+    FaultError,
+    FaultExhausted,
+    FaultReport,
+    current_report,
+    maybe_install_from_env,
+    uninstall,
+)
 from repro.query.ast import Query
 from repro.query.parallel import ParallelConfig, PlanRevision
 from repro.query.planner import FilterCascade
@@ -38,6 +47,20 @@ from repro.video.stream import Frame
 
 #: results of closing a stream: handle -> final execution result
 StreamResults = Mapping[int, "object"]
+
+# Fault-injection hook, installed by repro.faults while a chaos session runs.
+# ``None`` means off; every use sits behind an ``is not None`` guard so the
+# fault-free shard loop pays nothing (INV009).
+_FAULT_INJECTOR = None
+
+#: the shard worker's dequeue poll interval: short enough that
+#: ``stop(drain=False)`` is observed promptly, long enough to stay off the
+#: queue lock while idle
+_WORKER_POLL_SECONDS = 0.05
+
+#: injected shard-worker crashes survived per chunk before the chunk is
+#: quarantined as poison
+_MAX_SHARD_RETRIES = 3
 
 
 @dataclass(frozen=True)
@@ -90,6 +113,10 @@ class StreamStats:
     watermark: int
     violations: tuple[BudgetViolation, ...]
     emitter_errors: int
+    #: frame groups quarantined after exhausting their retry budgets
+    quarantined_chunks: int = 0
+    #: injected-fault / quarantine accounting (``None`` on fault-free shards)
+    faults: FaultReport | None = None
 
 
 @dataclass(frozen=True)
@@ -116,6 +143,10 @@ class ServiceStats:
     @property
     def dropped_chunks(self) -> int:
         return sum(stats.dropped_chunks for stats in self.streams.values())
+
+    @property
+    def quarantined_chunks(self) -> int:
+        return sum(stats.quarantined_chunks for stats in self.streams.values())
 
 
 class _StreamShard:
@@ -153,6 +184,11 @@ class _StreamShard:
         self.degraded_chunks = 0
         self.emitter_errors = 0
         self.violations: list[BudgetViolation] = []
+        # Fault-tolerance bookkeeping: emitters that already got their
+        # first-failure warning, and how many of the session's quarantine
+        # records have been pushed out as ``kind="fault"`` emissions.
+        self._warned_emitters: set[int] = set()
+        self._faults_emitted = 0
 
     # -- membership (called by the service, shard lock serialises vs scan) --
     def admit(self, entry: StandingQuery) -> None:
@@ -188,12 +224,17 @@ class _StreamShard:
     # -- ingestion -------------------------------------------------------
     def feed(self, frames: Sequence[Frame]) -> int:
         """Re-chunk and ingest ``frames``; returns chunks accepted."""
+        if self.queue.closed:
+            raise AnalysisError(
+                f"stream {self.name!r} is closed to ingestion (stop/close "
+                "already shut its queue); attach a fresh stream to keep feeding"
+            )
         accepted = 0
         size = self.config.chunk_size
         for start in range(0, len(frames), size):
             chunk = list(frames[start : start + size])
             if self._thread is None:
-                self._process_chunk(chunk)
+                self._run_chunk_resilient(chunk)
             elif not self.queue.put(chunk):
                 break
             accepted += 1
@@ -202,11 +243,53 @@ class _StreamShard:
         return accepted
 
     def _worker_loop(self) -> None:
+        # The timed get bounds how long the worker can sit inside the queue:
+        # ``stop(drain=False)`` clears the backlog and closes the queue, and
+        # within one poll interval the loop observes closed-and-drained and
+        # exits — it cannot deadlock on a wakeup that was never signalled.
+        # ``None`` alone is *not* an exit signal (timeouts and injected queue
+        # stalls return it too), so the loop re-checks the queue state.
         while True:
-            chunk = self.queue.get()
+            chunk = self.queue.get(timeout=_WORKER_POLL_SECONDS)
             if chunk is None:
+                if self.queue.closed and self.queue.depth == 0:
+                    return
+                continue
+            self._run_chunk_resilient(chunk)
+
+    def _run_chunk_resilient(self, chunk: Sequence[Frame]) -> None:
+        """Scan one chunk, surviving injected shard crashes and poison input.
+
+        An injected ``shard_crash`` fault fires *before* the session sees the
+        chunk, so re-running it is exact — this is the self-healing retry a
+        supervisor restarting a crashed shard worker would perform.  A chunk
+        that keeps failing (or raises a genuine error) is quarantined and the
+        scan moves on; the stream never wedges on poison input.
+        """
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                if _FAULT_INJECTOR is not None:
+                    _FAULT_INJECTOR.shard_event(self.name, self.chunks_processed)
+                self._process_chunk(chunk)
                 return
-            self._process_chunk(chunk)
+            except FaultExhausted as error:
+                self._quarantine(chunk, error)
+                return
+            except FaultError as error:
+                if attempts > _MAX_SHARD_RETRIES:
+                    self._quarantine(chunk, error)
+                    return
+                continue
+            except Exception as error:
+                self._quarantine(chunk, error)
+                return
+
+    def _quarantine(self, chunk: Sequence[Frame], error: BaseException) -> None:
+        with self.lock:
+            self.session.quarantine_chunk(list(chunk), error)
+            self._emit_quarantines()
 
     def _process_chunk(self, frames: Sequence[Frame]) -> None:
         with self.lock:
@@ -220,6 +303,7 @@ class _StreamShard:
             self.chunks_processed += 1
             self._emit_progress(progress)
             self._check_budgets()
+            self._emit_quarantines()
 
     # -- emission --------------------------------------------------------
     def _entry_for_sid(self, sid: int) -> StandingQuery | None:
@@ -232,7 +316,31 @@ class _StreamShard:
         emitters: list[Emitter] = list(self._service_emitters)
         if entry is not None and entry.emitter is not None:
             emitters.append(entry.emitter)
-        self.emitter_errors += deliver(emitters, emission)
+        self.emitter_errors += deliver(
+            emitters, emission, warned=self._warned_emitters
+        )
+
+    def _emit_quarantines(self) -> None:
+        """Push new quarantine records as ``kind="fault"`` emissions.
+
+        Runs under the shard lock.  Covers both shard-level quarantines
+        (:meth:`_quarantine`) and the ones the session performed internally
+        (detector retry exhaustion, parallel-worker redispatch exhaustion).
+        """
+        records = self.session.quarantined
+        for record in records[self._faults_emitted :]:
+            self._deliver(
+                Emission(
+                    stream=self.name,
+                    key=str(record.site),
+                    handle=-1,
+                    kind="fault",
+                    watermark=self.session.watermark,
+                    fault=record,
+                ),
+                None,
+            )
+        self._faults_emitted = len(records)
 
     def _emit_progress(self, progress) -> None:
         for sid, matches in progress.new_matches.items():
@@ -381,6 +489,8 @@ class _StreamShard:
                 watermark=self.session.watermark,
                 violations=tuple(self.violations),
                 emitter_errors=self.emitter_errors,
+                quarantined_chunks=len(self.session.quarantined),
+                faults=current_report(tuple(self.session.quarantined)),
             )
 
 
@@ -404,6 +514,10 @@ class QueryService:
         self._emitters = list(emitters)
         self._shards: dict[str, _StreamShard] = {}
         self._started = False
+        # ``$REPRO_FAULTS`` chaos mode: install the described injector for
+        # this service's lifetime (no-op when unset or when an explicit
+        # injection session is already live — we must not fight it).
+        self._env_injector = maybe_install_from_env()
 
     # -- streams ---------------------------------------------------------
     def attach_stream(
@@ -453,6 +567,11 @@ class QueryService:
         service-wide emitters.
         """
         shard = self._shard(stream)
+        if shard.queue.closed:
+            raise AnalysisError(
+                f"cannot register {query.name!r}: stream {stream!r} is closed "
+                "to ingestion (stop/close already shut its queue)"
+            )
         entry = self.registry.add(
             dict(
                 stream=stream,
@@ -499,8 +618,16 @@ class QueryService:
             shard.stop(drain=drain)
 
     def close_stream(self, name: str) -> dict[int, object]:
-        """Detach a stream, finalising its remaining queries (handle → result)."""
-        shard = self._shard(name)
+        """Detach a stream, finalising its remaining queries (handle → result).
+
+        Idempotent: closing a stream that is unknown or already closed
+        returns ``{}`` instead of raising — teardown paths (``close``,
+        ``__exit__``, supervisors cleaning up after a crash) may race or
+        repeat without consequence.
+        """
+        shard = self._shards.get(name)
+        if shard is None:
+            return {}
         results = shard.finish()
         for handle in self.registry.handles_for(name):
             self.registry.remove(handle)
@@ -508,11 +635,17 @@ class QueryService:
         return results
 
     def close(self) -> dict[int, object]:
-        """Close every stream; returns handle → final result for all of them."""
+        """Close every stream; returns handle → final result for all of them.
+
+        Idempotent: a second ``close`` finds no streams and returns ``{}``.
+        """
         results: dict[int, object] = {}
         for name in list(self._shards):
             results.update(self.close_stream(name))
         self._started = False
+        if self._env_injector is not None:
+            uninstall(self._env_injector)
+            self._env_injector = None
         return results
 
     def __enter__(self) -> "QueryService":
@@ -520,6 +653,32 @@ class QueryService:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # -- checkpoint / resume ---------------------------------------------
+    def checkpoint(self, stream: str) -> dict:
+        """Snapshot the stream shard's live scan progress.
+
+        The snapshot is picklable and self-contained (see
+        :meth:`~repro.query.session.ScanSession.checkpoint`); taken under
+        the shard lock, so it is consistent with respect to the worker.
+        Pending queued chunks are *not* captured — re-feed anything fed
+        after the checkpoint when resuming.
+        """
+        shard = self._shard(stream)
+        with shard.lock:
+            return shard.session.checkpoint()
+
+    def restore_stream(self, name: str, snapshot: dict) -> None:
+        """Restore a freshly attached stream from a :meth:`checkpoint`.
+
+        The stream must have been re-attached and the same queries
+        re-registered in the same order (the session verifies the keys);
+        afterwards the shard continues exactly where the snapshot left off —
+        no window re-emitted, none skipped.
+        """
+        shard = self._shard(name)
+        with shard.lock:
+            shard.session.restore(snapshot)
 
     # -- introspection ---------------------------------------------------
     def replan(self, stream: str) -> list[PlanRevision]:

@@ -28,6 +28,11 @@ from repro.video.synthesis import DatasetProfile
 # ``is not None`` so the uninstrumented path stays lock-and-dict only (INV007).
 _FRAME_CACHE_SANITIZER = None
 
+# Fault-injection hook, installed by repro.faults while a chaos session
+# runs.  Same zero-overhead contract (INV009): ``None`` means off, every
+# use sits behind an ``is not None`` guard.
+_FAULT_INJECTOR = None
+
 
 @dataclass(frozen=True)
 class Frame:
@@ -142,13 +147,13 @@ class VideoStream:
         consumer in this codebase already does (filters copy via ``astype``).
         """
         if self._frame_cache_size == 0:
-            return self._render_frame(index)
+            return self._decode(index)
         with self._cache_section(), self._frame_cache_lock:
             cached = self._frame_cache.get(index)
             if cached is not None:
                 self._frame_cache.move_to_end(index)
                 return cached
-        frame = self._render_frame(index)
+        frame = self._decode(index)
         with self._cache_section(), self._frame_cache_lock:
             existing = self._frame_cache.get(index)
             if existing is not None:
@@ -174,6 +179,20 @@ class VideoStream:
                 self, frozenset((id(self._frame_cache_lock),))
             )
         return nullcontext()
+
+    def _decode(self, index: int) -> Frame:
+        """Render one frame, under the decode fault site when injecting.
+
+        A transient decode fault retries with backoff charged to the
+        injector's own simulated clock (streams carry no clock of their
+        own); exhaustion propagates as ``FaultExhausted`` for the caller
+        to quarantine.
+        """
+        if _FAULT_INJECTOR is not None:
+            return _FAULT_INJECTOR.with_retry(
+                "decode", index, None, lambda: self._render_frame(index)
+            )
+        return self._render_frame(index)
 
     def _render_frame(self, index: int) -> Frame:
         ground_truth = self._scene.ground_truth(index)

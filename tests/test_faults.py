@@ -1,0 +1,836 @@
+"""Fault injection, self-healing execution, quarantine and checkpoint/resume.
+
+The fault layer's core promise is *bit-identical recovery*: any injected
+fault that the retry policy or the worker supervisor can absorb (decode
+error, filter/detector exception, worker crash or stall, queue stall,
+shard crash, emitter raise) leaves the scan's output — matched frames,
+windows, work counters, simulated cost — exactly equal to a fault-free
+run, with the whole episode accounted on ``ExecutionStats.faults``.  A
+fault that *exhausts* its budget quarantines the smallest possible frame
+group (a frame for the detector, a chunk elsewhere) and the scan
+continues; nothing else changes.  Checkpoint/restore extends the promise
+across process death: a resumed session re-emits no window and skips
+none.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analysis import AnalysisError
+from repro.cost import RETRY_BACKOFF_COMPONENT, SimulatedClock
+from repro.detection import ReferenceDetector
+from repro.faults import (
+    FAULT_HOOK_SITES,
+    FaultError,
+    FaultExhausted,
+    FaultInjector,
+    FaultReport,
+    QuarantineRecord,
+    RetryPolicy,
+    current_injector,
+    current_report,
+    install,
+    maybe_install_from_env,
+    parse_fault_spec,
+    uninstall,
+)
+from repro.query import (
+    FilterCascade,
+    ParallelConfig,
+    PlannerConfig,
+    QueryBuilder,
+    QueryPlanner,
+    StreamingQueryExecutor,
+    parse_query,
+)
+from repro.service import (
+    BufferEmitter,
+    CallbackEmitter,
+    QueryService,
+    StreamConfig,
+)
+
+DETECTOR_SEED = 77
+
+WINDOWED_TEXT = """
+SELECT cameraID, frameID
+FROM (PROCESS inputVideo PRODUCE cameraID, frameID, vehBox1 USING VehDetector)
+WINDOW HOPPING (SIZE 20, ADVANCE BY 10)
+WHERE COUNT(car) >= 1
+"""
+
+
+# ----------------------------------------------------------------------
+# Fixtures and helpers
+# ----------------------------------------------------------------------
+@pytest.fixture(autouse=True)
+def _no_injector_leaks():
+    """Every test must leave the hook modules clean."""
+    assert current_injector() is None
+    yield
+    leaked = current_injector()
+    uninstall()
+    assert leaked is None, f"test leaked installed injector {leaked!r}"
+
+
+@pytest.fixture(scope="module")
+def od_planner(trained_od_filter):
+    return QueryPlanner({"od": trained_od_filter}, PlannerConfig(count_tolerance=1))
+
+
+@pytest.fixture(scope="module")
+def cars_workload(od_planner):
+    query = QueryBuilder("cars").count("car").at_least(1).build()
+    return [query], [od_planner.plan(query)]
+
+
+def _executor(tiny_jackson):
+    return StreamingQueryExecutor(
+        ReferenceDetector(class_names=tiny_jackson.class_names, seed=DETECTOR_SEED)
+    )
+
+
+def _frames(stream):
+    return [stream.frame(index) for index in range(len(stream))]
+
+
+def _assert_result_parity(result, baseline):
+    assert result.query_name == baseline.query_name
+    assert result.matched_frames == baseline.matched_frames
+    assert result.stats.frames_scanned == baseline.stats.frames_scanned
+    assert result.stats.frames_passed_filters == baseline.stats.frames_passed_filters
+    assert result.stats.detector_invocations == baseline.stats.detector_invocations
+    assert result.stats.filter_invocations == baseline.stats.filter_invocations
+    assert (
+        result.stats.simulated_cost.per_component_calls
+        == baseline.stats.simulated_cost.per_component_calls
+    )
+    assert result.stats.simulated_cost.total_ms == pytest.approx(
+        baseline.stats.simulated_cost.total_ms
+    )
+    if baseline.windows is None:
+        assert result.windows is None
+    else:
+        assert result.windows is not None
+        assert [
+            (w.bounds, w.matched_frames, w.stats) for w in result.windows
+        ] == [(w.bounds, w.matched_frames, w.stats) for w in baseline.windows]
+
+
+def _service_scan(
+    queries,
+    cascades,
+    stream,
+    class_names,
+    *,
+    chunk_size=10,
+    emitters=(),
+    start=False,
+):
+    """Feed ``stream`` through a fresh service; returns (results, stats)."""
+    service = QueryService(emitters=list(emitters))
+    service.attach_stream(
+        "cam",
+        ReferenceDetector(class_names=class_names, seed=DETECTOR_SEED),
+        StreamConfig(chunk_size=chunk_size),
+    )
+    handles = [
+        service.register("cam", query, cascade)
+        for query, cascade in zip(queries, cascades)
+    ]
+    if start:
+        service.start()
+    frames = _frames(stream)
+    for begin in range(0, len(frames), chunk_size):
+        service.feed("cam", frames[begin : begin + chunk_size])
+    if start:
+        service.stop(drain=True)
+    stats = service.stats().streams["cam"]
+    results = service.close()
+    return [results[handle] for handle in handles], stats
+
+
+# ----------------------------------------------------------------------
+# RetryPolicy and the injector's decision core
+# ----------------------------------------------------------------------
+def test_retry_policy_backoff_math_and_validation():
+    policy = RetryPolicy(max_attempts=4, backoff_ms=2.0, backoff_factor=3.0)
+    assert [policy.backoff_for(n) for n in (1, 2, 3)] == [2.0, 6.0, 18.0]
+    with pytest.raises(ValueError):
+        RetryPolicy(max_attempts=0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_ms=-1.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff_factor=0.5)
+
+
+def test_schedule_is_consumed_per_attempt():
+    injector = FaultInjector(schedule={("decode", 5): 2})
+    assert injector.unfired() == (("decode", 5, 2),)
+    assert injector.should_fault("decode", 5)
+    assert injector.should_fault("decode", 5)
+    assert not injector.should_fault("decode", 5)
+    assert injector.unfired() == ()
+    report = injector.report()
+    assert report.injected_count == 2
+    assert report.by_site() == {"decode": 2}
+    assert [fault.occurrence for fault in report.injected] == [1, 2]
+
+
+def test_rate_injection_is_seeded_and_interleaving_free():
+    draws = lambda seed: [  # noqa: E731
+        FaultInjector(seed=seed, rates={"emitter": 0.4}).should_fault("emitter", key)
+        for key in range(64)
+    ]
+    first, second = draws(7), draws(7)
+    assert first == second  # same seed, same decisions — no global RNG
+    assert draws(8) != first  # the seed actually matters
+    assert 0 < sum(first) < 64  # a 40% rate fires some but not all
+
+
+def test_injector_rejects_bad_configuration():
+    with pytest.raises(ValueError):
+        FaultInjector(schedule={("warp_core", 1): 1})
+    with pytest.raises(ValueError):
+        FaultInjector(schedule={("decode", 1): 0})
+    with pytest.raises(ValueError):
+        FaultInjector(rates={"decode": 1.5})
+    with pytest.raises(ValueError):
+        FaultInjector(stall_seconds=-1.0)
+
+
+def test_with_retry_recovers_and_charges_simulated_backoff():
+    injector = FaultInjector(
+        schedule={("filter", 0): 2},
+        retry=RetryPolicy(max_attempts=3, backoff_ms=2.0, backoff_factor=2.0),
+    )
+    clock = SimulatedClock()
+    calls = []
+    result = injector.with_retry("filter", 0, clock, lambda: calls.append(1) or 42)
+    assert result == 42
+    assert len(calls) == 1  # both faults fired pre-attempt; the thunk ran once
+    per_ms = clock.breakdown.per_component_ms
+    assert per_ms[RETRY_BACKOFF_COMPONENT] == pytest.approx(6.0)
+    report = injector.report()
+    assert (report.retries, report.recovered, report.exhausted) == (2, 1, 0)
+    assert report.backoff_ms == pytest.approx(6.0)
+
+
+def test_with_retry_exhaustion_raises_with_attempt_count():
+    injector = FaultInjector(
+        schedule={("filter", 3): 3}, retry=RetryPolicy(max_attempts=3)
+    )
+    with pytest.raises(FaultExhausted) as excinfo:
+        injector.with_retry("filter", 3, None, lambda: 1)
+    assert excinfo.value.site == "filter"
+    assert excinfo.value.key == 3
+    assert excinfo.value.attempts == 3
+    report = injector.report()
+    assert (report.retries, report.recovered, report.exhausted) == (3, 0, 1)
+    # FaultExhausted must cross process boundaries intact.
+    clone = pickle.loads(pickle.dumps(excinfo.value))
+    assert (clone.site, clone.key, clone.attempts) == ("filter", 3, 3)
+
+
+def test_with_retry_never_retries_genuine_errors():
+    injector = FaultInjector()
+    attempts = []
+
+    def thunk():
+        attempts.append(1)
+        raise ValueError("not an injected fault")
+
+    with pytest.raises(ValueError):
+        injector.with_retry("filter", 0, None, thunk)
+    assert len(attempts) == 1
+    assert injector.report().retries == 0
+
+
+# ----------------------------------------------------------------------
+# Hook installation
+# ----------------------------------------------------------------------
+def test_install_uninstall_and_double_install_semantics():
+    import importlib
+
+    injector = FaultInjector()
+    install(injector)
+    try:
+        for module_name, attribute in FAULT_HOOK_SITES:
+            module = importlib.import_module(module_name)
+            assert getattr(module, attribute) is injector
+        with pytest.raises(RuntimeError):
+            install(FaultInjector())
+        # A stale handle from another session must not evict the live one.
+        uninstall(FaultInjector())
+        assert current_injector() is injector
+    finally:
+        uninstall(injector)
+    for module_name, attribute in FAULT_HOOK_SITES:
+        module = importlib.import_module(module_name)
+        assert getattr(module, attribute) is None
+    uninstall()  # idempotent when nothing is installed
+
+
+def test_injector_is_a_context_manager():
+    with FaultInjector() as injector:
+        assert current_injector() is injector
+    assert current_injector() is None
+
+
+def test_current_report_is_none_on_fault_free_runs():
+    assert current_report(()) is None
+    record = QuarantineRecord("runtime", 0, (0,), "boom")
+    report = current_report((record,))
+    assert isinstance(report, FaultReport)
+    assert report.quarantined == (record,)
+    assert report.injected_count == 0
+
+
+# ----------------------------------------------------------------------
+# REPRO_FAULTS spec parsing and env installation
+# ----------------------------------------------------------------------
+def test_parse_fault_spec_grammar():
+    injector = parse_fault_spec(
+        "seed=7, stall=0.5; retries=4, backoff=2.5,"
+        " decode@12, filter@8x3, shard_crash@cam:1, emitter%0.05"
+    )
+    assert injector.seed == 7
+    assert injector.stall_seconds == 0.5
+    assert injector.retry.max_attempts == 4
+    assert injector.retry.backoff_ms == 2.5
+    assert injector._schedule == {
+        ("decode", 12): 1,
+        ("filter", 8): 3,
+        ("shard_crash", "cam:1"): 1,
+    }
+    assert injector._rates == {"emitter": 0.05}
+    with pytest.raises(ValueError):
+        parse_fault_spec("warp=9")
+    with pytest.raises(ValueError):
+        parse_fault_spec("justaword")
+    with pytest.raises(ValueError):
+        parse_fault_spec("warp_core@1")
+
+
+def test_maybe_install_from_env(monkeypatch):
+    monkeypatch.delenv("REPRO_FAULTS", raising=False)
+    assert maybe_install_from_env() is None
+
+    monkeypatch.setenv("REPRO_FAULTS", "decode@3")
+    injector = maybe_install_from_env()
+    assert injector is not None and current_injector() is injector
+    # A second caller (e.g. a service built inside the session) defers.
+    assert maybe_install_from_env() is None
+    uninstall(injector)
+
+
+# ----------------------------------------------------------------------
+# Golden fault-site tests: decode
+# ----------------------------------------------------------------------
+def test_decode_fault_recovers_bit_identical(cars_workload, tiny_jackson):
+    queries, cascades = cars_workload
+    baseline = _executor(tiny_jackson).execute_many(
+        queries, tiny_jackson.test, cascades, batch_size=10
+    )
+    assert baseline[0].stats.faults is None  # fault-free runs carry None
+    with FaultInjector(schedule={("decode", 3): 1}) as injector:
+        faulted = _executor(tiny_jackson).execute_many(
+            queries, tiny_jackson.test, cascades, batch_size=10
+        )
+    _assert_result_parity(faulted[0], baseline[0])
+    report = faulted[0].stats.faults
+    assert report.by_site() == {"decode": 1}
+    assert report.recovered == 1
+    assert report.quarantined == ()
+    assert injector.unfired() == ()
+
+
+def test_decode_exhaustion_quarantines_the_chunk(cars_workload, tiny_jackson):
+    queries, cascades = cars_workload
+    baseline = _executor(tiny_jackson).execute_many(
+        queries, tiny_jackson.test, cascades, batch_size=10
+    )
+    retry = RetryPolicy(max_attempts=3)
+    with FaultInjector(schedule={("decode", 3): 3}, retry=retry):
+        faulted = _executor(tiny_jackson).execute_many(
+            queries, tiny_jackson.test, cascades, batch_size=10
+        )
+    lost = set(range(0, 10))  # frame 3's chunk under batch_size=10
+    # ``frames_scanned`` keeps the planned-coverage semantics; the gap is
+    # carried by the quarantine record and visible in the work counters.
+    assert (
+        faulted[0].stats.filter_invocations
+        == baseline[0].stats.filter_invocations - len(lost)
+    )
+    assert faulted[0].matched_frames == tuple(
+        index for index in baseline[0].matched_frames if index not in lost
+    )
+    report = faulted[0].stats.faults
+    assert report.exhausted == 1
+    assert len(report.quarantined) == 1
+    record = report.quarantined[0]
+    assert record.site == "decode" and record.key == 3
+    assert record.frames == tuple(sorted(lost))
+
+
+# ----------------------------------------------------------------------
+# Golden fault-site tests: filter and detector
+# ----------------------------------------------------------------------
+def test_filter_fault_recovers_bit_identical(cars_workload, tiny_jackson):
+    queries, cascades = cars_workload
+    baseline = _executor(tiny_jackson).execute_many(
+        queries, tiny_jackson.test, cascades, batch_size=10
+    )
+    with FaultInjector(schedule={("filter", 10): 1}) as injector:
+        faulted = _executor(tiny_jackson).execute_many(
+            queries, tiny_jackson.test, cascades, batch_size=10
+        )
+    _assert_result_parity(faulted[0], baseline[0])
+    assert faulted[0].stats.faults.by_site() == {"filter": 1}
+    assert faulted[0].stats.faults.recovered == 1
+    assert injector.unfired() == ()
+
+
+def test_filter_poison_chunk_is_quarantined(cars_workload, tiny_jackson):
+    queries, cascades = cars_workload
+    baseline = _executor(tiny_jackson).execute_many(
+        queries, tiny_jackson.test, cascades, batch_size=10
+    )
+    with FaultInjector(
+        schedule={("filter", 10): 3}, retry=RetryPolicy(max_attempts=3)
+    ):
+        faulted = _executor(tiny_jackson).execute_many(
+            queries, tiny_jackson.test, cascades, batch_size=10
+        )
+    lost = set(range(10, 20))
+    assert (
+        faulted[0].stats.filter_invocations
+        == baseline[0].stats.filter_invocations - len(lost)
+    )
+    assert faulted[0].matched_frames == tuple(
+        index for index in baseline[0].matched_frames if index not in lost
+    )
+    record = faulted[0].stats.faults.quarantined[0]
+    assert record.site == "filter" and record.frames == tuple(sorted(lost))
+
+
+def test_detector_exhaustion_quarantines_one_frame(tiny_jackson):
+    # An empty cascade sends every frame to the detector.
+    query = QueryBuilder("everything").count("car").at_least(0).build()
+    baseline = _executor(tiny_jackson).execute_many(
+        [query], tiny_jackson.test, [FilterCascade()], batch_size=10
+    )
+    with FaultInjector(
+        schedule={("detector", 5): 3}, retry=RetryPolicy(max_attempts=3)
+    ):
+        faulted = _executor(tiny_jackson).execute_many(
+            [query], tiny_jackson.test, [FilterCascade()], batch_size=10
+        )
+    # The quarantine is frame-granular: only frame 5 is lost.
+    assert faulted[0].matched_frames == tuple(
+        index for index in baseline[0].matched_frames if index != 5
+    )
+    # The frame passed its (empty) cascade before the detector gave up, so
+    # per-query coverage stats keep it; the *shared* invocation counter is
+    # the honest one — the detector never produced an answer for frame 5.
+    assert (
+        faulted.shared.detector_invocations
+        == baseline.shared.detector_invocations - 1
+    )
+    report = faulted[0].stats.faults
+    assert report.exhausted == 1
+    assert len(report.quarantined) == 1
+    record = report.quarantined[0]
+    assert record.site == "detector" and record.frames == (5,)
+
+
+def test_detector_fault_recovers_bit_identical(tiny_jackson):
+    query = QueryBuilder("everything").count("car").at_least(0).build()
+    baseline = _executor(tiny_jackson).execute_many(
+        [query], tiny_jackson.test, [FilterCascade()], batch_size=10
+    )
+    with FaultInjector(schedule={("detector", 5): 2}):
+        faulted = _executor(tiny_jackson).execute_many(
+            [query], tiny_jackson.test, [FilterCascade()], batch_size=10
+        )
+    _assert_result_parity(faulted[0], baseline[0])
+    assert faulted[0].stats.faults.recovered == 1
+
+
+# ----------------------------------------------------------------------
+# Golden fault-site tests: worker crash / stall under supervision
+# ----------------------------------------------------------------------
+@pytest.mark.parallel
+@pytest.mark.parametrize("backend", ("thread", "process"))
+def test_supervised_worker_crash_is_bit_identical(
+    cars_workload, tiny_jackson, backend
+):
+    queries, cascades = cars_workload
+    parallel = ParallelConfig(
+        num_workers=2, backend=backend, chunk_size=8, supervise=True
+    )
+    baseline = _executor(tiny_jackson).execute_many(
+        queries, tiny_jackson.test, cascades, parallel=parallel
+    )
+    with FaultInjector(schedule={("worker_crash", 1): 1}) as injector:
+        faulted = _executor(tiny_jackson).execute_many(
+            queries, tiny_jackson.test, cascades, parallel=parallel
+        )
+    _assert_result_parity(faulted[0], baseline[0])
+    report = faulted[0].stats.faults
+    assert report.by_site() == {"worker_crash": 1}
+    assert report.redispatches >= 1
+    if backend == "process":
+        # A dead process breaks the pool; the supervisor must respawn it.
+        assert report.respawns >= 1
+    assert report.quarantined == ()
+    assert injector.unfired() == ()
+
+
+@pytest.mark.parallel
+def test_supervised_worker_stall_is_respawned_bit_identical(
+    cars_workload, tiny_jackson
+):
+    queries, cascades = cars_workload
+    parallel = ParallelConfig(
+        num_workers=2,
+        backend="thread",
+        chunk_size=8,
+        supervise=True,
+        worker_timeout_seconds=0.25,
+    )
+    baseline = _executor(tiny_jackson).execute_many(
+        queries, tiny_jackson.test, cascades, parallel=parallel
+    )
+    with FaultInjector(
+        schedule={("worker_stall", 2): 1}, stall_seconds=0.75
+    ) as injector:
+        faulted = _executor(tiny_jackson).execute_many(
+            queries, tiny_jackson.test, cascades, parallel=parallel
+        )
+    _assert_result_parity(faulted[0], baseline[0])
+    report = faulted[0].stats.faults
+    assert report.by_site() == {"worker_stall": 1}
+    assert report.respawns >= 1 and report.redispatches >= 1
+    assert injector.unfired() == ()
+
+
+@pytest.mark.parallel
+def test_unsupervised_scan_fails_fast(cars_workload, tiny_jackson):
+    queries, cascades = cars_workload
+    parallel = ParallelConfig(num_workers=2, backend="thread", chunk_size=8)
+    with FaultInjector(schedule={("worker_crash", 0): 1}):
+        with pytest.raises(FaultError):
+            _executor(tiny_jackson).execute_many(
+                queries, tiny_jackson.test, cascades, parallel=parallel
+            )
+
+
+@pytest.mark.parallel
+def test_worker_redispatch_exhaustion_quarantines_chunk(
+    cars_workload, tiny_jackson
+):
+    queries, cascades = cars_workload
+    parallel = ParallelConfig(
+        num_workers=2,
+        backend="thread",
+        chunk_size=8,
+        supervise=True,
+        max_redispatch=1,
+    )
+    baseline = _executor(tiny_jackson).execute_many(
+        queries, tiny_jackson.test, cascades, parallel=parallel
+    )
+    # Two crashes of chunk 1 exceed max_redispatch=1: poisoned chunk.
+    with FaultInjector(schedule={("worker_crash", 1): 2}):
+        faulted = _executor(tiny_jackson).execute_many(
+            queries, tiny_jackson.test, cascades, parallel=parallel
+        )
+    lost = set(range(8, 16))  # chunk 1 under chunk_size=8
+    assert faulted[0].matched_frames == tuple(
+        index for index in baseline[0].matched_frames if index not in lost
+    )
+    report = faulted[0].stats.faults
+    assert report.exhausted == 1
+    record = report.quarantined[0]
+    assert record.site == "worker" and record.frames == tuple(sorted(lost))
+
+
+# ----------------------------------------------------------------------
+# Golden fault-site tests: service-side sites (shard, queue, emitter)
+# ----------------------------------------------------------------------
+def test_shard_crash_self_heals_bit_identical(cars_workload, tiny_jackson):
+    queries, cascades = cars_workload
+    base_results, base_stats = _service_scan(
+        queries, cascades, tiny_jackson.test, tiny_jackson.class_names
+    )
+    assert base_stats.faults is None
+    with FaultInjector(schedule={("shard_crash", "cam:2"): 1}) as injector:
+        results, stats = _service_scan(
+            queries, cascades, tiny_jackson.test, tiny_jackson.class_names
+        )
+    _assert_result_parity(results[0], base_results[0])
+    assert stats.quarantined_chunks == 0
+    assert stats.faults.by_site() == {"shard_crash": 1}
+    assert injector.unfired() == ()
+
+
+def test_shard_crash_exhaustion_quarantines_and_emits(
+    cars_workload, tiny_jackson
+):
+    queries, cascades = cars_workload
+    base_results, _ = _service_scan(
+        queries, cascades, tiny_jackson.test, tiny_jackson.class_names
+    )
+    buffer = BufferEmitter()
+    # One more crash than the shard retry budget: the chunk is poisoned.
+    with FaultInjector(schedule={("shard_crash", "cam:0"): 4}) as injector:
+        results, stats = _service_scan(
+            queries,
+            cascades,
+            tiny_jackson.test,
+            tiny_jackson.class_names,
+            emitters=[buffer],
+        )
+    lost = set(range(0, 10))
+    assert results[0].matched_frames == tuple(
+        index for index in base_results[0].matched_frames if index not in lost
+    )
+    assert stats.quarantined_chunks == 1
+    assert stats.faults.quarantined[0].site == "shard_crash"
+    emissions = buffer.emissions(kind="fault")
+    assert len(emissions) == 1
+    assert emissions[0].handle == -1  # quarantine is per stream, not per query
+    assert emissions[0].fault.frames == tuple(sorted(lost))
+    assert injector.unfired() == ()
+
+
+def test_queue_stall_is_absorbed_by_the_timed_worker_loop(
+    cars_workload, tiny_jackson
+):
+    queries, cascades = cars_workload
+    base_results, _ = _service_scan(
+        queries, cascades, tiny_jackson.test, tiny_jackson.class_names
+    )
+    with FaultInjector(schedule={("queue_stall", 0): 1}) as injector:
+        results, stats = _service_scan(
+            queries,
+            cascades,
+            tiny_jackson.test,
+            tiny_jackson.class_names,
+            start=True,
+        )
+    _assert_result_parity(results[0], base_results[0])
+    assert stats.chunks_processed == stats.chunks_ingested
+    assert stats.queue_depth == 0
+    assert stats.faults.by_site() == {"queue_stall": 1}
+    assert injector.unfired() == ()
+
+
+def test_injected_emitter_raise_counts_and_warns_once(
+    cars_workload, tiny_jackson
+):
+    queries, cascades = cars_workload
+    buffer = BufferEmitter()
+    with FaultInjector(
+        schedule={("emitter", 0): 1, ("emitter", 1): 1}
+    ) as injector:
+        with pytest.warns(RuntimeWarning) as caught:
+            results, stats = _service_scan(
+                queries,
+                cascades,
+                tiny_jackson.test,
+                tiny_jackson.class_names,
+                emitters=[buffer],
+            )
+    assert stats.emitter_errors == 2
+    # Two failures of the same emitter produce exactly one warning.
+    assert len([w for w in caught if issubclass(w.category, RuntimeWarning)]) == 1
+    assert results[0].matched_frames  # the scan itself was untouched
+    assert injector.unfired() == ()
+
+
+def test_raising_emitter_never_kills_the_shard(cars_workload, tiny_jackson):
+    queries, cascades = cars_workload
+    base_results, _ = _service_scan(
+        queries, cascades, tiny_jackson.test, tiny_jackson.class_names
+    )
+
+    def explode(emission):
+        raise RuntimeError("subscriber bug")
+
+    buffer = BufferEmitter()
+    with pytest.warns(RuntimeWarning, match="CallbackEmitter"):
+        results, stats = _service_scan(
+            queries,
+            cascades,
+            tiny_jackson.test,
+            tiny_jackson.class_names,
+            emitters=[CallbackEmitter(explode), buffer],
+        )
+    _assert_result_parity(results[0], base_results[0])
+    assert stats.emitter_errors > 0
+    # The healthy emitter kept receiving everything.
+    assert buffer.matched_frames() == list(base_results[0].matched_frames)
+
+
+# ----------------------------------------------------------------------
+# Checkpoint / restore
+# ----------------------------------------------------------------------
+def _checkpoint_workload(od_planner):
+    plain = QueryBuilder("cars").count("car").at_least(1).build()
+    windowed = parse_query(WINDOWED_TEXT, name="windowed_cars")
+    return (
+        [plain, windowed],
+        [od_planner.plan(plain), od_planner.plan(windowed)],
+    )
+
+
+def _attach_and_register(service, queries, cascades, class_names, emitter=None):
+    service.attach_stream(
+        "cam",
+        ReferenceDetector(class_names=class_names, seed=DETECTOR_SEED),
+        StreamConfig(chunk_size=10),
+    )
+    return [
+        service.register("cam", query, cascade, emitter=emitter)
+        for query, cascade in zip(queries, cascades)
+    ]
+
+
+def test_checkpoint_restore_round_trip_is_bit_identical(
+    od_planner, tiny_jackson
+):
+    queries, cascades = _checkpoint_workload(od_planner)
+    frames = _frames(tiny_jackson.test)
+
+    # Uninterrupted run: the ground truth.
+    full = QueryService()
+    handles = _attach_and_register(
+        full, queries, cascades, tiny_jackson.class_names
+    )
+    for begin in range(0, len(frames), 10):
+        full.feed("cam", frames[begin : begin + 10])
+    truth = full.close()
+
+    # Crashed run: scan half, checkpoint, and throw the service away.
+    first = QueryService()
+    _attach_and_register(first, queries, cascades, tiny_jackson.class_names)
+    for begin in range(0, 30, 10):
+        first.feed("cam", frames[begin : begin + 10])
+    snapshot = pickle.loads(pickle.dumps(first.checkpoint("cam")))
+    first.close()
+
+    # Resumed run: fresh service, same queries in the same order.
+    buffer = BufferEmitter()
+    resumed = QueryService(emitters=[buffer])
+    new_handles = _attach_and_register(
+        resumed, queries, cascades, tiny_jackson.class_names
+    )
+    resumed.restore_stream("cam", snapshot)
+    for begin in range(30, len(frames), 10):
+        resumed.feed("cam", frames[begin : begin + 10])
+    results = resumed.close()
+
+    for old, new in zip(handles, new_handles):
+        _assert_result_parity(results[new], truth[old])
+    # Windows already emitted before the checkpoint are never re-emitted:
+    # frames 0..29 closed the windows starting at 0 and 10, so the resumed
+    # service emits only the remaining ones.
+    resumed_starts = [w.bounds.start for w in buffer.windows()]
+    assert resumed_starts == [20, 30, 40]
+
+
+def test_restore_rejects_mismatched_or_dirty_sessions(od_planner, tiny_jackson):
+    queries, cascades = _checkpoint_workload(od_planner)
+    frames = _frames(tiny_jackson.test)
+
+    source = QueryService()
+    _attach_and_register(source, queries, cascades, tiny_jackson.class_names)
+    source.feed("cam", frames[:10])
+    snapshot = source.checkpoint("cam")
+    source.close()
+
+    # A session that has already scanned cannot be restored over.
+    dirty = QueryService()
+    _attach_and_register(dirty, queries, cascades, tiny_jackson.class_names)
+    dirty.feed("cam", frames[:10])
+    with pytest.raises(RuntimeError, match="fresh session"):
+        dirty.restore_stream("cam", snapshot)
+    dirty.close()
+
+    # The same queries must be re-registered in the same order.
+    renamed = QueryService()
+    other = QueryBuilder("someone_else").count("car").at_least(1).build()
+    _attach_and_register(
+        renamed, [other, queries[1]], cascades, tiny_jackson.class_names
+    )
+    with pytest.raises(ValueError, match="key mismatch"):
+        renamed.restore_stream("cam", snapshot)
+    renamed.close()
+
+    # Unknown checkpoint versions are refused outright.
+    refused = QueryService()
+    _attach_and_register(refused, queries, cascades, tiny_jackson.class_names)
+    with pytest.raises(ValueError, match="version"):
+        refused.restore_stream("cam", {**snapshot, "version": 999})
+    refused.close()
+
+
+# ----------------------------------------------------------------------
+# Service lifecycle hardening (the satellite behaviours)
+# ----------------------------------------------------------------------
+def test_unknown_stream_raises_keyerror_naming_it(tiny_jackson):
+    service = QueryService()
+    query = QueryBuilder("cars").count("car").at_least(1).build()
+    with pytest.raises(KeyError, match="ghost"):
+        service.feed("ghost", _frames(tiny_jackson.test)[:5])
+    with pytest.raises(KeyError, match="ghost"):
+        service.register("ghost", query)
+    with pytest.raises(KeyError, match="ghost"):
+        service.checkpoint("ghost")
+    assert service.close_stream("ghost") == {}
+    service.close()
+
+
+def test_closed_stream_refuses_feed_and_register(cars_workload, tiny_jackson):
+    queries, cascades = cars_workload
+    service = QueryService()
+    service.attach_stream(
+        "cam",
+        ReferenceDetector(class_names=tiny_jackson.class_names, seed=DETECTOR_SEED),
+        StreamConfig(chunk_size=10),
+    )
+    service.register("cam", queries[0], cascades[0])
+    frames = _frames(tiny_jackson.test)
+    service.feed("cam", frames[:10])
+    service.stop(drain=True)
+    with pytest.raises(AnalysisError, match="'cam'"):
+        service.feed("cam", frames[10:20])
+    late = QueryBuilder("late").count("car").at_least(1).build()
+    with pytest.raises(AnalysisError, match="'cam'"):
+        service.register("cam", late)
+    service.close()
+
+
+def test_stop_without_drain_cannot_deadlock_and_is_idempotent(
+    cars_workload, tiny_jackson
+):
+    queries, cascades = cars_workload
+    service = QueryService()
+    service.attach_stream(
+        "cam",
+        ReferenceDetector(class_names=tiny_jackson.class_names, seed=DETECTOR_SEED),
+        StreamConfig(chunk_size=5, queue_chunks=8),
+    )
+    service.register("cam", queries[0], cascades[0])
+    service.start()
+    service.feed("cam", _frames(tiny_jackson.test))
+    service.stop(drain=False)  # must return within one poll interval
+    service.stop(drain=False)  # double stop is a no-op
+    results = service.close()
+    assert service.close() == {}  # double close is a no-op
+    assert len(results) == 1

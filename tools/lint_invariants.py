@@ -38,6 +38,12 @@ script exits non-zero when any rule is violated.
   every *use* of that global sits inside an ``if <hook> is not None:``
   body — so the uninstrumented hot paths never pay an attribute call, and
   ``sanitize=None`` runs are bit-identical to the pre-sanitizer engine.
+* **INV009 — fault-injection hooks are zero-overhead when off.**  The same
+  contract as INV007 for the fault layer: each hook module declares a
+  module-level ``_FAULT_INJECTOR = None`` global and every use of it sits
+  inside an ``if _FAULT_INJECTOR is not None:`` body, so runs without an
+  installed :class:`repro.faults.FaultInjector` are bit-identical to the
+  pre-fault-layer engine.
 * **INV008 — registry membership is only mutated under the registry lock.**
   In ``repro/service/registry.py`` every mutation of ``self._entries`` /
   ``self._by_stream`` (assignment, ``del``, or a mutator method call) must
@@ -82,6 +88,17 @@ HOOK_MODULES = (
     (SRC / "video" / "stream.py", "_FRAME_CACHE_SANITIZER"),
     (SRC / "nn" / "network.py", "_LAYER_SANITIZER"),
     (SRC / "query" / "parallel.py", "_WORKER_SANITIZER"),
+)
+
+#: (module, hook global) pairs; mirrors FAULT_HOOK_SITES in
+#: repro/faults/injector.py (INV009)
+FAULT_HOOK_MODULES = (
+    (SRC / "video" / "stream.py", "_FAULT_INJECTOR"),
+    (SRC / "query" / "parallel.py", "_FAULT_INJECTOR"),
+    (SRC / "query" / "session.py", "_FAULT_INJECTOR"),
+    (SRC / "service" / "service.py", "_FAULT_INJECTOR"),
+    (SRC / "service" / "ingest.py", "_FAULT_INJECTOR"),
+    (SRC / "service" / "emitters.py", "_FAULT_INJECTOR"),
 )
 
 
@@ -243,8 +260,15 @@ def _is_hook_guard(node: ast.AST, hook: str) -> bool:
     )
 
 
-def check_sanitizer_hooks_guarded(findings: list[str]) -> None:
-    for path, hook in HOOK_MODULES:
+def _check_hooks_guarded(
+    findings: list[str],
+    modules: tuple[tuple[Path, str], ...],
+    code: str,
+    installer: str,
+    fast_path: str,
+) -> None:
+    """The shared INV007/INV009 contract: declared global, guarded uses."""
+    for path, hook in modules:
         tree = _parse(path)
         declared = any(
             isinstance(target, ast.Name) and target.id == hook
@@ -253,9 +277,9 @@ def check_sanitizer_hooks_guarded(findings: list[str]) -> None:
         )
         if not declared:
             findings.append(
-                f"INV007 {path.relative_to(REPO)}: module-level {hook} = None "
-                "declaration missing — repro.analysis.sanitizers installs "
-                "hooks by setattr on this global"
+                f"{code} {path.relative_to(REPO)}: module-level {hook} = None "
+                f"declaration missing — {installer} installs hooks by "
+                "setattr on this global"
             )
             continue
         # Spans where a bare use of the hook is legitimate: the guard test
@@ -275,10 +299,24 @@ def check_sanitizer_hooks_guarded(findings: list[str]) -> None:
             if any(start <= node.lineno <= end for start, end in allowed):
                 continue
             findings.append(
-                f"INV007 {path.relative_to(REPO)}:{node.lineno}: {hook} used "
+                f"{code} {path.relative_to(REPO)}:{node.lineno}: {hook} used "
                 f"outside an `if {hook} is not None:` body — unguarded hook "
-                "uses tax the sanitize=None fast path"
+                f"uses tax the {fast_path} fast path"
             )
+
+
+def check_sanitizer_hooks_guarded(findings: list[str]) -> None:
+    _check_hooks_guarded(
+        findings, HOOK_MODULES, "INV007", "repro.analysis.sanitizers",
+        "sanitize=None",
+    )
+
+
+def check_fault_hooks_guarded(findings: list[str]) -> None:
+    _check_hooks_guarded(
+        findings, FAULT_HOOK_MODULES, "INV009", "repro.faults.injector",
+        "no-injector",
+    )
 
 
 #: the registry containers whose mutations INV008 requires the lock around
@@ -360,6 +398,7 @@ def main() -> int:
     check_readme_code_table(findings)
     check_analyzer_codes_registered(findings)
     check_sanitizer_hooks_guarded(findings)
+    check_fault_hooks_guarded(findings)
     check_registry_mutation_locked(findings)
     if findings:
         for finding in findings:
